@@ -1,0 +1,114 @@
+// Command semrepro regenerates every table and figure of the paper's
+// evaluation section from freshly simulated runs: Table 1 (PFS
+// categorization), Table 3 (high-level patterns), Table 4 (conflicts under
+// session/commit semantics), Table 5 (configuration inventory), Figure 1
+// (access-pattern mixes), Figure 2 (FLASH access scatter CSVs) and Figure 3
+// (metadata census). Results land in the output directory as text and CSV.
+//
+// Usage:
+//
+//	semrepro -out results -ranks 64 -ppn 8
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"repro/internal/experiments"
+	"repro/internal/report"
+)
+
+func main() {
+	var (
+		out   = flag.String("out", "results", "output directory")
+		ranks = flag.Int("ranks", 64, "ranks per run")
+		ppn   = flag.Int("ppn", 8, "processes per node")
+		seed  = flag.Uint64("seed", 1, "simulation seed")
+		only  = flag.String("only", "", "generate a single artifact: table1|table3|table4|table5|figure1|figure2|figure3|verdicts")
+	)
+	flag.Parse()
+
+	if err := os.MkdirAll(*out, 0o755); err != nil {
+		fatal(err)
+	}
+	scale := experiments.Scale{Ranks: *ranks, PPN: *ppn, Seed: *seed}
+
+	write := func(name, content string) {
+		path := filepath.Join(*out, name)
+		if err := os.WriteFile(path, []byte(content), 0o644); err != nil {
+			fatal(err)
+		}
+		fmt.Println("wrote", path)
+	}
+
+	want := func(name string) bool { return *only == "" || *only == name }
+
+	if want("table1") {
+		write("table1_semantics.txt", experiments.Table1())
+	}
+	if want("table5") {
+		write("table5_configurations.txt", experiments.Table5())
+	}
+	if *only == "table1" || *only == "table5" {
+		return
+	}
+
+	fmt.Printf("running all %d configurations at %d ranks...\n", 25, *ranks)
+	results, err := experiments.RunAll(scale)
+	if err != nil {
+		fatal(err)
+	}
+
+	if want("table3") {
+		write("table3_patterns.txt", experiments.Table3(results))
+	}
+	if want("table4") {
+		write("table4_conflicts.txt", experiments.Table4(results))
+	}
+	if want("figure1") {
+		text, csv := experiments.Figure1(results)
+		write("figure1_patterns.txt", text)
+		write("figure1_patterns.csv", csv)
+	}
+	if want("figure2") {
+		for name, csv := range experiments.Figure2(results) {
+			write("figure2_"+name, csv)
+		}
+	}
+	if want("figure3") {
+		write("figure3_metadata.txt", experiments.Figure3(results))
+	}
+	if want("verdicts") || *only == "" {
+		write("verdicts.txt", experiments.VerdictsReport(results))
+	}
+	if want("metadeps") || *only == "" {
+		write("metadata_dependencies.txt", experiments.MetaTable(results))
+	}
+	if want("reports") || *only == "" {
+		// Per-run detailed reports, like the paper's published artifact.
+		if err := os.MkdirAll(filepath.Join(*out, "reports"), 0o755); err != nil {
+			fatal(err)
+		}
+		for _, name := range results.Ordered {
+			rep := report.BuildRunReport(results.ByName[name].Trace)
+			write(filepath.Join("reports", sanitize(name)+".txt"), rep.Render())
+		}
+	}
+}
+
+func sanitize(name string) string {
+	return strings.Map(func(r rune) rune {
+		if r == '/' || r == ' ' {
+			return '_'
+		}
+		return r
+	}, name)
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "semrepro:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,29 @@
+// Pattern atlas: run every application configuration of the study and print
+// the Table 3 pattern matrix plus the Figure 1 access-pattern mixes — a
+// one-command tour of what HPC I/O actually looks like to a PFS.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+
+	"repro/internal/experiments"
+)
+
+func main() {
+	ranks := flag.Int("ranks", 32, "ranks per run")
+	ppn := flag.Int("ppn", 4, "processes per node")
+	flag.Parse()
+
+	fmt.Printf("running all 25 configurations at %d ranks (this simulates ~%d processes of I/O)...\n\n",
+		*ranks, 25**ranks)
+	results, err := experiments.RunAll(experiments.Scale{Ranks: *ranks, PPN: *ppn, Seed: 1})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println(experiments.Table3(results))
+	text, _ := experiments.Figure1(results)
+	fmt.Println(text)
+	fmt.Println(experiments.VerdictsReport(results))
+}

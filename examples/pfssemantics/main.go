@@ -1,0 +1,50 @@
+// PFS semantics lab: run the same applications against the four simulated
+// consistency models with data verification on, and watch the paper's
+// headline result play out — 16 of 17 applications run correctly on a
+// session-semantics PFS; FLASH corrupts its HDF5 metadata there and needs
+// commit semantics (or the collective-metadata one-line fix).
+package main
+
+import (
+	"fmt"
+	"log"
+
+	semfs "repro"
+)
+
+func runOn(name string, sem semfs.Semantics) string {
+	res, err := semfs.Run(name, semfs.RunOptions{
+		Ranks: 32, PPN: 4, Semantics: sem, Verify: true,
+	})
+	if err != nil {
+		log.Fatalf("%s on %v: %v", name, sem, err)
+	}
+	if err := res.Err(); err != nil {
+		return fmt.Sprintf("FAIL (%d ranks corrupted)", len(res.RankErrors))
+	}
+	return "ok"
+}
+
+func main() {
+	appsToTry := []string{
+		"FLASH-nofbs", // the one application with a cross-process conflict
+		"HACC-IO-POSIX",
+		"pF3D-IO",
+		"NWChem",
+		"LBANN",
+		"VASP",
+	}
+	fmt.Printf("%-16s  %-8s  %-8s  %-8s\n", "application", "strong", "commit", "session")
+	fmt.Println("--------------------------------------------------")
+	for _, name := range appsToTry {
+		fmt.Printf("%-16s  %-8s  %-8s  %-8s\n", name,
+			runOn(name, semfs.Strong),
+			runOn(name, semfs.Commit),
+			runOn(name, semfs.Session))
+	}
+	fmt.Println()
+	fmt.Println("FLASH fails under session semantics because different processes rewrite")
+	fmt.Println("the same HDF5 metadata across flush epochs: without a close/open pair the")
+	fmt.Println("next owner reads a stale root header. H5Fflush's fsync is a commit, so")
+	fmt.Println("commit semantics already orders those writes (Table 4 / §6.3).")
+}

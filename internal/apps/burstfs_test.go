@@ -1,0 +1,49 @@
+package apps
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/pfs"
+)
+
+// TestBurstFSQuirkBreaksSameProcessConflicts executes §6.3's caveat: "all
+// but one of the PFSs we studied can correctly handle RAW and WAW conflicts
+// on the same process (BurstFS being the exception)". On a commit-semantics
+// PFS that does NOT order same-process accesses, applications whose Table 4
+// signature contains an S conflict misbehave; applications without S
+// conflicts still run correctly.
+func TestBurstFSQuirkBreaksSameProcessConflicts(t *testing.T) {
+	run := func(name string) []error {
+		cfg, ok := Lookup(name)
+		if !ok {
+			t.Fatalf("no config %s", name)
+		}
+		fs := pfs.New(pfs.Options{Semantics: pfs.Commit, UnorderedSameProcess: true})
+		res, err := Execute(cfg, Options{Ranks: 8, PPN: 2, FS: fs,
+			Semantics: pfs.Commit, Params: Params{Verify: true}})
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		return res.Errs
+	}
+
+	// NWChem has RAW-S on its trajectory header: the read-back returns the
+	// initial header instead of the rewritten one.
+	if errs := run("NWChem"); len(errs) == 0 {
+		t.Fatal("NWChem should misread its rewritten header on a BurstFS-style PFS")
+	} else if !strings.Contains(errs[0].Error(), "trajectory header") {
+		t.Fatalf("unexpected NWChem failure: %v", errs[0])
+	}
+
+	// pF3D-IO's read-back does not overlap any earlier same-process write
+	// of different content (each chunk is written once), so it still runs.
+	if errs := run("pF3D-IO"); len(errs) != 0 {
+		t.Fatalf("pF3D-IO should run on a BurstFS-style PFS: %v", errs[0])
+	}
+
+	// HACC-IO reopens its file before reading (published data, quirk-free).
+	if errs := run("HACC-IO-POSIX"); len(errs) != 0 {
+		t.Fatalf("HACC-IO should run on a BurstFS-style PFS: %v", errs[0])
+	}
+}

@@ -1,0 +1,202 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/pfs"
+	"repro/internal/recorder"
+)
+
+// ConflictKind distinguishes the paper's two hazard classes.
+type ConflictKind int
+
+const (
+	RAW ConflictKind = iota // read-after-write
+	WAW                     // write-after-write
+)
+
+func (k ConflictKind) String() string {
+	if k == RAW {
+		return "RAW"
+	}
+	return "WAW"
+}
+
+// Conflict is one detected conflicting access pair: the earlier operation is
+// always a write; the pair would produce a wrong result under the given
+// consistency model unless the PFS orders it (same-process pairs are ordered
+// correctly by every PFS in the study except BurstFS; see §6.3).
+type Conflict struct {
+	Path        string
+	Kind        ConflictKind
+	SameProcess bool
+	First       Interval
+	Second      Interval
+}
+
+func (c Conflict) String() string {
+	sd := "D"
+	if c.SameProcess {
+		sd = "S"
+	}
+	return fmt.Sprintf("%s-%s %s [%d,%d)@r%d t=%d -> [%d,%d)@r%d t=%d",
+		c.Kind, sd, c.Path,
+		c.First.Os, c.First.Oe, c.First.Rank, c.First.T,
+		c.Second.Os, c.Second.Oe, c.Second.Rank, c.Second.T)
+}
+
+// DetectConflicts finds the conflicting access pairs of one file under the
+// given consistency model (§5.2):
+//
+//	(1) the pair overlaps,
+//	(2) the earlier operation is a write,
+//	(3) commit semantics: the writer executes no commit operation between
+//	    the two operations,
+//	(4) session semantics: there is no close by the writer followed by an
+//	    open by the second process, both between the two operations.
+//
+// Under strong semantics no pairs conflict (the PFS serializes them), and
+// under eventual semantics every candidate pair conflicts (no operation
+// bounds the propagation delay).
+func DetectConflicts(fa *FileAccesses, model pfs.Semantics) []Conflict {
+	if model == pfs.Strong {
+		return nil
+	}
+	var out []Conflict
+	DetectOverlaps(fa.Intervals, func(p OverlapPair) {
+		first, second := &fa.Intervals[p.A], &fa.Intervals[p.B]
+		conflict := false
+		switch model {
+		case pfs.Commit:
+			// Condition (3): first commit by the writer after t1 must come
+			// before t2, otherwise the pair conflicts.
+			conflict = first.TcCommit == NoTime || first.TcCommit >= second.T
+		case pfs.Session:
+			conflict = !sessionOrdered(fa, first, second)
+		case pfs.Eventual:
+			conflict = true
+		}
+		if conflict {
+			out = append(out, Conflict{
+				Path:        fa.Path,
+				Kind:        kindOf(second),
+				SameProcess: first.Rank == second.Rank,
+				First:       *first,
+				Second:      *second,
+			})
+		}
+	})
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].First.T != out[j].First.T {
+			return out[i].First.T < out[j].First.T
+		}
+		return out[i].Second.T < out[j].Second.T
+	})
+	return out
+}
+
+func kindOf(second *Interval) ConflictKind {
+	if second.Write {
+		return WAW
+	}
+	return RAW
+}
+
+// sessionOrdered reports whether condition (4) holds: a close by the
+// writer's process at tc and an open by the reader's process at to exist
+// with t1 < tc < to < t2.
+func sessionOrdered(fa *FileAccesses, first, second *Interval) bool {
+	tc := firstAfter(fa.ClosesByRank[first.Rank], first.T)
+	if tc == NoTime || tc >= second.T {
+		return false
+	}
+	// An open by the second process strictly inside (tc, t2)?
+	opens := fa.OpensByRank[second.Rank]
+	idx := sort.Search(len(opens), func(i int) bool { return opens[i] > tc })
+	return idx < len(opens) && opens[idx] < second.T
+}
+
+// ConflictSignature is one row of Table 4: which of the four potential
+// conflict classes (§4.1) an application exhibits.
+type ConflictSignature struct {
+	WAWSame, WAWDiff bool
+	RAWSame, RAWDiff bool
+}
+
+// Any reports whether any conflict class is present.
+func (s ConflictSignature) Any() bool {
+	return s.WAWSame || s.WAWDiff || s.RAWSame || s.RAWDiff
+}
+
+// HasDifferentProcess reports whether a cross-process conflict is present —
+// the class that actually breaks applications on weak-semantics PFSs (§6.3).
+func (s ConflictSignature) HasDifferentProcess() bool {
+	return s.WAWDiff || s.RAWDiff
+}
+
+// Signature aggregates conflicts into a Table 4 row.
+func Signature(conflicts []Conflict) ConflictSignature {
+	var s ConflictSignature
+	for _, c := range conflicts {
+		switch {
+		case c.Kind == WAW && c.SameProcess:
+			s.WAWSame = true
+		case c.Kind == WAW:
+			s.WAWDiff = true
+		case c.Kind == RAW && c.SameProcess:
+			s.RAWSame = true
+		default:
+			s.RAWDiff = true
+		}
+	}
+	return s
+}
+
+// AnalyzeConflicts runs extraction and conflict detection over a whole
+// trace for one model, returning conflicts per file (files without
+// conflicts omitted) and the aggregate signature.
+func AnalyzeConflicts(tr *recorder.Trace, model pfs.Semantics) (map[string][]Conflict, ConflictSignature) {
+	byFile := make(map[string][]Conflict)
+	var all []Conflict
+	for _, fa := range Extract(tr) {
+		cs := DetectConflicts(fa, model)
+		if len(cs) > 0 {
+			byFile[fa.Path] = cs
+			all = append(all, cs...)
+		}
+	}
+	return byFile, Signature(all)
+}
+
+// Verdict is the paper's bottom line for one application (§6.3): the
+// weakest consistency model under which it runs correctly, given that
+// same-process conflicts are handled by any PFS with per-process ordering.
+type Verdict struct {
+	Session ConflictSignature
+	Commit  ConflictSignature
+	// Weakest is the weakest model with no cross-process conflicts.
+	Weakest pfs.Semantics
+	// NeedsPerProcessOrdering is set when same-process conflicts exist, in
+	// which case PFSs without per-process ordering (BurstFS) are unsafe
+	// even at the Weakest level.
+	NeedsPerProcessOrdering bool
+}
+
+// Analyze computes the full verdict for a trace.
+func Analyze(tr *recorder.Trace) Verdict {
+	_, session := AnalyzeConflicts(tr, pfs.Session)
+	_, commit := AnalyzeConflicts(tr, pfs.Commit)
+	v := Verdict{Session: session, Commit: commit}
+	switch {
+	case !session.HasDifferentProcess():
+		v.Weakest = pfs.Session
+	case !commit.HasDifferentProcess():
+		v.Weakest = pfs.Commit
+	default:
+		v.Weakest = pfs.Strong
+	}
+	v.NeedsPerProcessOrdering = session.WAWSame || session.RAWSame ||
+		commit.WAWSame || commit.RAWSame
+	return v
+}

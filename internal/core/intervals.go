@@ -1,0 +1,303 @@
+// Package core implements the paper's analysis algorithms over multi-level
+// I/O traces: byte-offset reconstruction for POSIX data operations (§5.1),
+// overlap detection (Algorithm 1), conflict detection under commit and
+// session consistency semantics (§5.2), access-pattern classification at the
+// local and global levels (§4, Figure 1), high-level X-Y pattern
+// classification (Table 3), the metadata-operation census (§6.4, Figure 3),
+// happens-before validation of conflict ordering (§5.2), and per-application
+// consistency-semantics verdicts (§6.3).
+//
+// The package consumes recorder traces only — offsets are re-derived from
+// open flags, seek operations and transfer byte counts exactly as the
+// paper's analysis does, never taken from simulator internals.
+package core
+
+import (
+	"sort"
+
+	"repro/internal/recorder"
+)
+
+// Interval is one data operation expanded with the fields the conflict
+// algorithm needs: the paper's tuple (t, r, os, oe, type) plus the
+// `to`/`tc` annotations of §5.2. Offsets are half-open: [Os, Oe).
+type Interval struct {
+	T     uint64 // entry timestamp
+	TEnd  uint64 // exit timestamp
+	Rank  int32
+	Os    int64
+	Oe    int64
+	Write bool
+
+	// §5.2 record expansion, all with respect to this interval's rank and
+	// file: To is the time of the last preceding open; TcCommit the time of
+	// the first succeeding commit operation (fsync/fdatasync/fflush/close);
+	// TcClose the time of the first succeeding close. ^uint64(0) when none.
+	To       uint64
+	TcCommit uint64
+	TcClose  uint64
+
+	// Origin is the I/O layer responsible for this operation: the outermost
+	// enclosing library-layer record, or LayerApp when the application
+	// called POSIX directly.
+	Origin recorder.Layer
+	// Phase identifies the enclosing library call (an index unique within
+	// the rank stream), used to group a rank's accesses issued by a single
+	// collective/library call. -1 when app-level.
+	Phase int
+}
+
+// NoTime marks a missing To/Tc annotation.
+const NoTime = ^uint64(0)
+
+// FileAccesses collects everything the analysis needs about one file.
+type FileAccesses struct {
+	Path      string
+	Intervals []Interval // all ranks, unsorted across ranks (per-rank time order)
+	// Per-rank sorted operation times on this file.
+	OpensByRank   map[int32][]uint64
+	ClosesByRank  map[int32][]uint64
+	CommitsByRank map[int32][]uint64
+}
+
+// fdState tracks one open descriptor during offset reconstruction.
+type fdState struct {
+	path     string
+	offset   int64
+	appendMd bool
+}
+
+// Extract reconstructs per-file access intervals from a trace. It walks
+// each rank's record stream in order, tracking the current offset of every
+// descriptor (updated by open flags, seeks and transfer sizes, per §5.1),
+// and annotates every data operation with its To/Tc times and originating
+// layer. Results are keyed by path and returned sorted by path.
+func Extract(tr *recorder.Trace) []*FileAccesses {
+	files := make(map[string]*FileAccesses)
+	get := func(path string) *FileAccesses {
+		fa, ok := files[path]
+		if !ok {
+			fa = &FileAccesses{
+				Path:          path,
+				OpensByRank:   make(map[int32][]uint64),
+				ClosesByRank:  make(map[int32][]uint64),
+				CommitsByRank: make(map[int32][]uint64),
+			}
+			files[path] = fa
+		}
+		return fa
+	}
+
+	for rank, rs := range tr.PerRank {
+		_ = rank
+		fds := make(map[int64]*fdState)
+		sizeByPath := make(map[string]int64) // this rank's view, for O_APPEND
+		origins, phases := attributeOrigins(rs)
+
+		noteSize := func(path string, end int64) {
+			if end > sizeByPath[path] {
+				sizeByPath[path] = end
+			}
+		}
+
+		for i := range rs {
+			r := &rs[i]
+			if r.Layer != recorder.LayerPOSIX {
+				continue
+			}
+			switch {
+			case r.IsOpenOp():
+				fd := r.Arg(2)
+				if fd < 0 {
+					continue // failed open
+				}
+				flags := int(r.Arg(0))
+				st := &fdState{path: r.Path, appendMd: flags&recorder.OAppend != 0}
+				fds[fd] = st
+				if flags&recorder.OTrunc != 0 {
+					sizeByPath[r.Path] = 0
+				}
+				fa := get(r.Path)
+				fa.OpensByRank[r.Rank] = append(fa.OpensByRank[r.Rank], r.TStart)
+			case r.IsCloseOp():
+				fd := r.Arg(0)
+				if st, ok := fds[fd]; ok {
+					fa := get(st.path)
+					fa.ClosesByRank[r.Rank] = append(fa.ClosesByRank[r.Rank], r.TStart)
+					fa.CommitsByRank[r.Rank] = append(fa.CommitsByRank[r.Rank], r.TStart)
+					delete(fds, fd)
+				}
+			case r.Func == recorder.FuncFsync || r.Func == recorder.FuncFdatasync || r.Func == recorder.FuncFflush:
+				fd := r.Arg(0)
+				if st, ok := fds[fd]; ok {
+					fa := get(st.path)
+					fa.CommitsByRank[r.Rank] = append(fa.CommitsByRank[r.Rank], r.TStart)
+				}
+			case r.Func == recorder.FuncLseek || r.Func == recorder.FuncFseek:
+				fd := r.Arg(0)
+				st, ok := fds[fd]
+				if !ok {
+					continue
+				}
+				off, whence, ret := r.Arg(1), r.Arg(2), r.Arg(3)
+				switch whence {
+				case recorder.SeekSet:
+					st.offset = off
+				case recorder.SeekCur:
+					st.offset += off
+				case recorder.SeekEnd:
+					// The file size is not derivable from one rank's record
+					// stream; use the call's recorded return value, as a
+					// real tracer would.
+					st.offset = ret
+				}
+			case r.Func == recorder.FuncFtruncate:
+				if st, ok := fds[r.Arg(0)]; ok {
+					sizeByPath[st.path] = r.Arg(1)
+				}
+			case r.Func == recorder.FuncTruncate:
+				sizeByPath[r.Path] = r.Arg(1)
+			case r.IsDataOp():
+				iv, path, ok := dataInterval(r, fds, sizeByPath)
+				if !ok {
+					continue
+				}
+				iv.Origin, iv.Phase = origins[i], phases[i]
+				noteSize(path, iv.Oe)
+				fa := get(path)
+				fa.Intervals = append(fa.Intervals, iv)
+			}
+		}
+	}
+
+	out := make([]*FileAccesses, 0, len(files))
+	for _, fa := range files {
+		annotate(fa)
+		out = append(out, fa)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Path < out[j].Path })
+	return out
+}
+
+// dataInterval converts a data-op record into an interval, updating the
+// descriptor offset state.
+func dataInterval(r *recorder.Record, fds map[int64]*fdState, sizeByPath map[string]int64) (Interval, string, bool) {
+	iv := Interval{T: r.TStart, TEnd: r.TEnd, Rank: r.Rank, Write: r.IsWriteOp(),
+		To: NoTime, TcCommit: NoTime, TcClose: NoTime}
+	var st *fdState
+	var n int64
+	switch r.Func {
+	case recorder.FuncRead, recorder.FuncWrite, recorder.FuncReadv, recorder.FuncWritev:
+		st = fds[r.Arg(0)]
+		if st == nil {
+			return iv, "", false
+		}
+		n = r.Arg(2) // return value: bytes transferred
+		if n <= 0 {
+			return iv, "", false
+		}
+		off := st.offset
+		if iv.Write && st.appendMd {
+			off = sizeByPath[st.path]
+		}
+		iv.Os, iv.Oe = off, off+n
+		st.offset = off + n
+	case recorder.FuncFread, recorder.FuncFwrite:
+		st = fds[r.Arg(0)]
+		if st == nil {
+			return iv, "", false
+		}
+		n = r.Arg(3)
+		if n <= 0 {
+			return iv, "", false
+		}
+		off := st.offset
+		if iv.Write && st.appendMd {
+			off = sizeByPath[st.path]
+		}
+		iv.Os, iv.Oe = off, off+n
+		st.offset = off + n
+	case recorder.FuncPread, recorder.FuncPwrite:
+		st = fds[r.Arg(0)]
+		if st == nil {
+			return iv, "", false
+		}
+		n = r.Arg(3)
+		if n <= 0 {
+			return iv, "", false
+		}
+		iv.Os, iv.Oe = r.Arg(2), r.Arg(2)+n
+	default:
+		return iv, "", false
+	}
+	return iv, st.path, true
+}
+
+// annotate fills the To/Tc fields of every interval from the per-rank
+// open/close/commit time tables using binary search (§5.2's "one or two
+// binary searches").
+func annotate(fa *FileAccesses) {
+	for i := range fa.Intervals {
+		iv := &fa.Intervals[i]
+		iv.To = lastBefore(fa.OpensByRank[iv.Rank], iv.T)
+		iv.TcCommit = firstAfter(fa.CommitsByRank[iv.Rank], iv.T)
+		iv.TcClose = firstAfter(fa.ClosesByRank[iv.Rank], iv.T)
+	}
+}
+
+// lastBefore returns the largest element <= t, or NoTime.
+func lastBefore(times []uint64, t uint64) uint64 {
+	idx := sort.Search(len(times), func(i int) bool { return times[i] > t })
+	if idx == 0 {
+		return NoTime
+	}
+	return times[idx-1]
+}
+
+// firstAfter returns the smallest element > t, or NoTime.
+func firstAfter(times []uint64, t uint64) uint64 {
+	idx := sort.Search(len(times), func(i int) bool { return times[i] > t })
+	if idx == len(times) {
+		return NoTime
+	}
+	return times[idx]
+}
+
+// attributeOrigins computes, for every record in a rank stream, the layer
+// of the outermost enclosing library-layer record (by time containment) and
+// the stream index of the innermost one (the "phase"). Streams are
+// TStart-ordered, so a stack sweep suffices: frames are library records not
+// yet known to have ended.
+func attributeOrigins(rs []recorder.Record) ([]recorder.Layer, []int) {
+	origins := make([]recorder.Layer, len(rs))
+	phases := make([]int, len(rs))
+	type frame struct {
+		idx  int
+		tend uint64
+	}
+	var stack []frame
+	for i := range rs {
+		r := &rs[i]
+		// Drop frames that ended before this record starts.
+		for len(stack) > 0 && stack[len(stack)-1].tend < r.TStart {
+			stack = stack[:len(stack)-1]
+		}
+		origins[i], phases[i] = recorder.LayerApp, -1
+		for _, fr := range stack { // bottom = outermost
+			if fr.tend >= r.TEnd {
+				origins[i] = rs[fr.idx].Layer
+				break
+			}
+		}
+		for k := len(stack) - 1; k >= 0; k-- { // top = innermost
+			if stack[k].tend >= r.TEnd {
+				phases[i] = stack[k].idx
+				break
+			}
+		}
+		if r.Layer != recorder.LayerPOSIX && r.Layer != recorder.LayerMPI {
+			stack = append(stack, frame{idx: i, tend: r.TEnd})
+		}
+	}
+	return origins, phases
+}

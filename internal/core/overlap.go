@@ -1,0 +1,106 @@
+package core
+
+import "sort"
+
+// OverlapPair indexes two overlapping intervals within a FileAccesses'
+// Intervals slice, ordered so that Intervals[A].T <= Intervals[B].T.
+type OverlapPair struct {
+	A, B int
+}
+
+// RankPairTable is the paper's table P: counts of overlapping operation
+// pairs per (rank, rank) pair, with the smaller rank first.
+type RankPairTable map[[2]int32]int
+
+// DetectOverlaps implements Algorithm 1: sort the tuples by starting
+// offset, then sweep — for each interval, scan forward until an interval
+// starts at or beyond its end (subsequent tuples cannot overlap it). The
+// returned table counts overlapping pairs per rank pair.
+//
+// onPair, when non-nil, is invoked for every overlapping pair (time-ordered)
+// where the earlier operation is a write — the candidate conflicts of §4.1;
+// read-read overlaps are tallied in the table but never materialized, which
+// keeps read-heavy workloads (e.g. LBANN, where every rank reads the whole
+// file) from generating quadratic pair lists.
+func DetectOverlaps(ivs []Interval, onPair func(OverlapPair)) RankPairTable {
+	table := make(RankPairTable)
+	if len(ivs) < 2 {
+		return table
+	}
+	idx := make([]int, len(ivs))
+	for i := range idx {
+		idx[i] = i
+	}
+	sort.Slice(idx, func(a, b int) bool {
+		ia, ib := &ivs[idx[a]], &ivs[idx[b]]
+		if ia.Os != ib.Os {
+			return ia.Os < ib.Os
+		}
+		return ia.T < ib.T
+	})
+	for a := 0; a < len(idx); a++ {
+		ia := &ivs[idx[a]]
+		for b := a + 1; b < len(idx); b++ {
+			ib := &ivs[idx[b]]
+			if ib.Os >= ia.Oe {
+				break // sorted by Os: no later tuple overlaps ia
+			}
+			key := rankKey(ia.Rank, ib.Rank)
+			table[key]++
+			if onPair == nil {
+				continue
+			}
+			// Time-order the pair; candidate conflicts need the earlier
+			// operation to be a write.
+			first, second := idx[a], idx[b]
+			if earlier(ivs, second, first) {
+				first, second = second, first
+			}
+			if ivs[first].Write {
+				onPair(OverlapPair{A: first, B: second})
+			}
+		}
+	}
+	return table
+}
+
+func rankKey(a, b int32) [2]int32 {
+	if a > b {
+		a, b = b, a
+	}
+	return [2]int32{a, b}
+}
+
+// earlier deterministically orders two intervals by entry time, breaking
+// timestamp ties by slice index so Algorithm 1 and the brute-force oracle
+// always agree.
+func earlier(ivs []Interval, i, j int) bool {
+	if ivs[i].T != ivs[j].T {
+		return ivs[i].T < ivs[j].T
+	}
+	return i < j
+}
+
+// DetectOverlapsBruteForce is the O(n²) reference implementation used by
+// property tests to validate Algorithm 1.
+func DetectOverlapsBruteForce(ivs []Interval, onPair func(OverlapPair)) RankPairTable {
+	table := make(RankPairTable)
+	for i := 0; i < len(ivs); i++ {
+		for j := i + 1; j < len(ivs); j++ {
+			a, b := &ivs[i], &ivs[j]
+			if a.Os < b.Oe && b.Os < a.Oe {
+				table[rankKey(a.Rank, b.Rank)]++
+				if onPair != nil {
+					first, second := i, j
+					if earlier(ivs, second, first) {
+						first, second = second, first
+					}
+					if ivs[first].Write {
+						onPair(OverlapPair{A: first, B: second})
+					}
+				}
+			}
+		}
+	}
+	return table
+}

@@ -1,0 +1,118 @@
+package core
+
+import (
+	"container/heap"
+	"sort"
+	"sync"
+)
+
+// DetectOverlapsMerge is the variant the paper sketches ("sorting can be
+// replaced by merging as records for each rank are already sorted"): the
+// intervals are partitioned per rank, each rank's list is sorted by start
+// offset independently (in parallel), and the sweep consumes them through a
+// k-way merge instead of one global sort. Results are identical to
+// DetectOverlaps.
+func DetectOverlapsMerge(ivs []Interval, onPair func(OverlapPair)) RankPairTable {
+	table := make(RankPairTable)
+	if len(ivs) < 2 {
+		return table
+	}
+	// Partition indices by rank.
+	perRank := make(map[int32][]int)
+	for i := range ivs {
+		perRank[ivs[i].Rank] = append(perRank[ivs[i].Rank], i)
+	}
+	lists := make([][]int, 0, len(perRank))
+	for _, l := range perRank {
+		lists = append(lists, l)
+	}
+	// Sort each rank's list by offset, concurrently.
+	var wg sync.WaitGroup
+	for _, l := range lists {
+		wg.Add(1)
+		go func(l []int) {
+			defer wg.Done()
+			sort.Slice(l, func(a, b int) bool {
+				ia, ib := &ivs[l[a]], &ivs[l[b]]
+				if ia.Os != ib.Os {
+					return ia.Os < ib.Os
+				}
+				return ia.T < ib.T
+			})
+		}(l)
+	}
+	wg.Wait()
+
+	// K-way merge into offset order, sweeping with the active-window check
+	// of Algorithm 1: an interval overlaps every later-starting interval
+	// until one starts at or past its end.
+	h := &mergeHeap{ivs: ivs}
+	for _, l := range lists {
+		if len(l) > 0 {
+			h.items = append(h.items, mergeItem{list: l})
+		}
+	}
+	heap.Init(h)
+	// Active window: intervals whose Oe may still cover upcoming starts.
+	var active []int
+	for h.Len() > 0 {
+		it := &h.items[0]
+		idx := it.list[it.pos]
+		it.pos++
+		if it.pos >= len(it.list) {
+			heap.Pop(h)
+		} else {
+			heap.Fix(h, 0)
+		}
+		cur := &ivs[idx]
+		// Drop exhausted actives and pair with the rest.
+		kept := active[:0]
+		for _, a := range active {
+			if ivs[a].Oe <= cur.Os {
+				continue
+			}
+			kept = append(kept, a)
+			table[rankKey(ivs[a].Rank, cur.Rank)]++
+			if onPair != nil {
+				first, second := a, idx
+				if earlier(ivs, second, first) {
+					first, second = second, first
+				}
+				if ivs[first].Write {
+					onPair(OverlapPair{A: first, B: second})
+				}
+			}
+		}
+		active = append(kept, idx)
+	}
+	return table
+}
+
+type mergeItem struct {
+	list []int
+	pos  int
+}
+
+type mergeHeap struct {
+	ivs   []Interval
+	items []mergeItem
+}
+
+func (h *mergeHeap) Len() int { return len(h.items) }
+func (h *mergeHeap) Less(i, j int) bool {
+	a := &h.ivs[h.items[i].list[h.items[i].pos]]
+	b := &h.ivs[h.items[j].list[h.items[j].pos]]
+	if a.Os != b.Os {
+		return a.Os < b.Os
+	}
+	return a.T < b.T
+}
+func (h *mergeHeap) Swap(i, j int) { h.items[i], h.items[j] = h.items[j], h.items[i] }
+func (h *mergeHeap) Push(x any)    { h.items = append(h.items, x.(mergeItem)) }
+func (h *mergeHeap) Pop() any {
+	old := h.items
+	n := len(old)
+	it := old[n-1]
+	h.items = old[:n-1]
+	return it
+}

@@ -1,0 +1,69 @@
+package core
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+)
+
+func TestMergeVariantMatchesAlgorithm1(t *testing.T) {
+	rng := rand.New(rand.NewSource(77))
+	for trial := 0; trial < 200; trial++ {
+		n := rng.Intn(80)
+		ivs := make([]Interval, n)
+		for i := range ivs {
+			os := int64(rng.Intn(400))
+			ivs[i] = iv(uint64(rng.Intn(1000)), int32(rng.Intn(6)), os, os+int64(rng.Intn(80)+1), rng.Intn(2) == 0)
+		}
+		sortPairs := func(ps []OverlapPair) []OverlapPair {
+			out := append([]OverlapPair(nil), ps...)
+			sortPairSlice(out)
+			return out
+		}
+		var p1, p2 []OverlapPair
+		t1 := DetectOverlaps(ivs, func(p OverlapPair) { p1 = append(p1, p) })
+		t2 := DetectOverlapsMerge(ivs, func(p OverlapPair) { p2 = append(p2, p) })
+		if !reflect.DeepEqual(sortPairs(p1), sortPairs(p2)) {
+			t.Fatalf("trial %d: pair sets differ:\n sort  %v\n merge %v", trial, sortPairs(p1), sortPairs(p2))
+		}
+		if len(t1) != len(t2) {
+			t.Fatalf("trial %d: tables differ: %v vs %v", trial, t1, t2)
+		}
+		for k, v := range t1 {
+			if t2[k] != v {
+				t.Fatalf("trial %d: table[%v] = %d vs %d", trial, k, t1[k], t2[k])
+			}
+		}
+	}
+}
+
+func sortPairSlice(ps []OverlapPair) {
+	for i := 1; i < len(ps); i++ {
+		for j := i; j > 0 && less(ps[j], ps[j-1]); j-- {
+			ps[j], ps[j-1] = ps[j-1], ps[j]
+		}
+	}
+}
+
+func less(a, b OverlapPair) bool {
+	if a.A != b.A {
+		return a.A < b.A
+	}
+	return a.B < b.B
+}
+
+func TestMergeVariantEmptyAndSingleRank(t *testing.T) {
+	if got := DetectOverlapsMerge(nil, nil); len(got) != 0 {
+		t.Fatal("empty input")
+	}
+	ivs := []Interval{
+		iv(1, 0, 0, 10, true),
+		iv(2, 0, 5, 15, true),
+		iv(3, 0, 20, 30, false),
+	}
+	var pairs []OverlapPair
+	table := DetectOverlapsMerge(ivs, func(p OverlapPair) { pairs = append(pairs, p) })
+	if table[rankKey(0, 0)] != 1 || len(pairs) != 1 {
+		t.Fatalf("single-rank overlap: table=%v pairs=%v", table, pairs)
+	}
+}

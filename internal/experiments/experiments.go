@@ -1,0 +1,344 @@
+// Package experiments orchestrates the reproduction of every table and
+// figure in the paper's evaluation section: it runs the application
+// configurations at a chosen scale, feeds the traces through the core
+// analysis and renders the results with internal/report. cmd/semrepro, the
+// benchmark harness and EXPERIMENTS.md generation all build on it.
+package experiments
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"repro/internal/apps"
+	"repro/internal/core"
+	"repro/internal/harness"
+	"repro/internal/pfs"
+	"repro/internal/recorder"
+	"repro/internal/report"
+)
+
+// Scale fixes the run parameters for one reproduction pass.
+type Scale struct {
+	Ranks  int
+	PPN    int
+	Seed   uint64
+	Params apps.Params
+}
+
+// DefaultScale is the paper's small configuration: 8 nodes × 8 processes.
+func DefaultScale() Scale {
+	return Scale{Ranks: 64, PPN: 8, Seed: 1}
+}
+
+// TestScale is a fast configuration for unit tests.
+func TestScale() Scale {
+	return Scale{Ranks: 16, PPN: 2, Seed: 1}
+}
+
+// Results caches one trace per application configuration.
+type Results struct {
+	Scale   Scale
+	ByName  map[string]*harness.Result
+	Ordered []string // registry order
+}
+
+// RunAll executes every configuration of the registry at the given scale.
+func RunAll(s Scale) (*Results, error) {
+	out := &Results{Scale: s, ByName: make(map[string]*harness.Result)}
+	for _, cfg := range apps.Registry() {
+		res, err := apps.Execute(cfg, apps.Options{
+			Ranks: s.Ranks, PPN: s.PPN, Seed: s.Seed, Semantics: pfs.Strong,
+			Params: s.Params,
+		})
+		if err != nil {
+			return nil, fmt.Errorf("experiments: %s: %w", cfg.Name(), err)
+		}
+		if err := res.Err(); err != nil {
+			return nil, fmt.Errorf("experiments: %s: %w", cfg.Name(), err)
+		}
+		out.ByName[cfg.Name()] = res
+		out.Ordered = append(out.Ordered, cfg.Name())
+	}
+	return out, nil
+}
+
+// RunOne executes a single configuration at the given scale.
+func RunOne(name string, s Scale) (*harness.Result, error) {
+	cfg, ok := apps.Lookup(name)
+	if !ok {
+		return nil, fmt.Errorf("experiments: unknown config %q", name)
+	}
+	res, err := apps.Execute(cfg, apps.Options{
+		Ranks: s.Ranks, PPN: s.PPN, Seed: s.Seed, Semantics: pfs.Strong,
+		Params: s.Params,
+	})
+	if err != nil {
+		return nil, err
+	}
+	if err := res.Err(); err != nil {
+		return nil, err
+	}
+	return res, nil
+}
+
+// Table1 renders the static PFS categorization.
+func Table1() string { return report.Table1() }
+
+// Table3 classifies every configuration's trace and renders the pattern
+// matrix.
+func Table3(r *Results) string {
+	var rows []report.Table3Row
+	for _, name := range r.Ordered {
+		fas := core.Extract(r.ByName[name].Trace)
+		rows = append(rows, report.Table3Row{
+			Config:   name,
+			Patterns: core.ClassifyHighLevel(fas, core.HLOptions{WorldSize: r.Scale.Ranks}),
+		})
+	}
+	return report.Table3(rows)
+}
+
+// Table4 detects conflicts under session and commit semantics and renders
+// the check-mark table.
+func Table4(r *Results) string {
+	return report.Table4(Table4Rows(r))
+}
+
+// Table4Rows computes the Table 4 signatures for every configuration.
+func Table4Rows(r *Results) []report.Table4Row {
+	var rows []report.Table4Row
+	for _, name := range r.Ordered {
+		tr := r.ByName[name].Trace
+		_, session := core.AnalyzeConflicts(tr, pfs.Session)
+		_, commit := core.AnalyzeConflicts(tr, pfs.Commit)
+		rows = append(rows, report.Table4Row{
+			Config: name, Library: tr.Meta.Library,
+			Session: session, Commit: commit,
+		})
+	}
+	return rows
+}
+
+// Table5 renders the configuration inventory from the registry.
+func Table5() string {
+	var rows [][2]string
+	for _, cfg := range apps.Registry() {
+		rows = append(rows, [2]string{cfg.Name(), cfg.Description})
+	}
+	return report.Table5(rows)
+}
+
+// Figure1 renders the access-pattern mixes; returns the text figure and the
+// CSV series.
+func Figure1(r *Results) (string, string) {
+	var rows []report.Figure1Row
+	for _, name := range r.Ordered {
+		fas := core.Extract(r.ByName[name].Trace)
+		rows = append(rows, report.Figure1Row{
+			Config: name,
+			Global: core.GlobalPattern(fas),
+			Local:  core.LocalPattern(fas),
+		})
+	}
+	return report.Figure1(rows), report.Figure1CSV(rows)
+}
+
+// Figure2 produces the six panels of Figure 2 as CSV scatter series
+// (offset/time per rank) from the FLASH traces: checkpoint and plot files
+// under collective (fbs) and independent (nofbs) I/O. SVG renderings of the
+// checkpoint panels are included alongside.
+func Figure2(r *Results) map[string]string {
+	panels := make(map[string]string)
+	for _, variant := range []string{"fbs", "nofbs"} {
+		res, ok := r.ByName["FLASH-"+variant]
+		if !ok {
+			continue
+		}
+		panels["flash_"+variant+"_checkpoint.csv"] = report.Figure2CSV(res.Trace, "/flash_hdf5_chk_0000")
+		panels["flash_"+variant+"_plot.csv"] = report.Figure2CSV(res.Trace, "/flash_hdf5_plt_cnt_0000")
+		// Single-rank view (Figure 2f): rank 0's accesses only.
+		panels["flash_"+variant+"_checkpoint_rank0.csv"] = filterCSVRank(
+			report.Figure2CSV(res.Trace, "/flash_hdf5_chk_0000"), 0)
+		panels["flash_"+variant+"_checkpoint.svg"] = report.Figure2SVG(res.Trace,
+			"/flash_hdf5_chk_0000", "FLASH-"+variant+" checkpoint file, write accesses over time")
+		panels["flash_"+variant+"_plot.svg"] = report.Figure2SVG(res.Trace,
+			"/flash_hdf5_plt_cnt_0000", "FLASH-"+variant+" plot file, write accesses over time")
+	}
+	return panels
+}
+
+func filterCSVRank(csv string, rank int) string {
+	lines := strings.Split(csv, "\n")
+	var out []string
+	want := fmt.Sprintf(",%d,", rank)
+	for i, l := range lines {
+		if i == 0 || strings.Contains(l, want) {
+			out = append(out, l)
+		}
+	}
+	return strings.Join(out, "\n")
+}
+
+// Figure3 renders the metadata-operation matrix.
+func Figure3(r *Results) string {
+	var rows []report.Figure3Row
+	for _, name := range r.Ordered {
+		rows = append(rows, report.Figure3Row{
+			Config: name,
+			Census: core.MetadataCensus(r.ByName[name].Trace),
+		})
+	}
+	return report.Figure3(rows)
+}
+
+// VerdictsReport renders the §6.3 per-application bottom line.
+func VerdictsReport(r *Results) string {
+	rows := make([]struct {
+		Config  string
+		Verdict core.Verdict
+	}, 0, len(r.Ordered))
+	for _, name := range r.Ordered {
+		rows = append(rows, struct {
+			Config  string
+			Verdict core.Verdict
+		}{name, core.Analyze(r.ByName[name].Trace)})
+	}
+	return report.Verdicts(rows)
+}
+
+// MetaTable renders the future-work extension: cross-process metadata
+// dependencies per configuration (which applications require prompt
+// metadata visibility).
+func MetaTable(r *Results) string {
+	var b strings.Builder
+	b.WriteString("Cross-process metadata dependencies (§7 future-work extension)\n\n")
+	fmt.Fprintf(&b, "%-20s  %-10s  %-10s  %-10s  %s\n", "Configuration", "create-use", "remove-use", "resize-use", "pairs")
+	b.WriteString(strings.Repeat("-", 70) + "\n")
+	mark := func(v bool) string {
+		if v {
+			return "x"
+		}
+		return ""
+	}
+	for _, name := range r.Ordered {
+		cs := core.DetectMetadataConflicts(r.ByName[name].Trace)
+		sig := core.MetaSignatureOf(cs)
+		fmt.Fprintf(&b, "%-20s  %-10s  %-10s  %-10s  %d\n",
+			name, mark(sig.CreateUse), mark(sig.RemoveUse), mark(sig.ResizeUse), len(cs))
+	}
+	return b.String()
+}
+
+// BenchResult is one cell of the PFS-semantics ablation.
+type BenchResult struct {
+	Semantics     pfs.Semantics
+	Workload      string
+	Ranks         int
+	ElapsedNS     uint64 // simulated wall time of the I/O phase
+	LockAcquires  int64
+	LockContended int64
+	MetaOps       int64
+	BytesWritten  int64
+}
+
+// PFSBenchWorkloads lists the ablation workloads.
+func PFSBenchWorkloads() []string { return []string{"n1-strided", "nn-filepp", "n1-small"} }
+
+// PFSBench runs a synthetic workload against a PFS with the given semantics
+// and reports the simulated elapsed time: the executable version of the
+// paper's motivation that strong semantics' per-operation locking is the
+// bottleneck relaxed-semantics PFSs remove (Sections 1 and 3).
+func PFSBench(workload string, sem pfs.Semantics, ranks, ppn int, block int64, opsPerRank int) (BenchResult, error) {
+	body := func(ctx *harness.Ctx) error {
+		switch workload {
+		case "n1-strided":
+			fd, err := ctx.OS.Open("/shared.dat", recorder.OCreat|recorder.OWronly, 0o644)
+			if err != nil {
+				return err
+			}
+			for k := 0; k < opsPerRank; k++ {
+				off := int64(k)*int64(ctx.Size)*block + int64(ctx.Rank)*block
+				if _, err := ctx.OS.Pwrite(fd, make([]byte, block), off); err != nil {
+					return err
+				}
+			}
+			return ctx.OS.Close(fd)
+		case "nn-filepp":
+			fd, err := ctx.OS.Open(fmt.Sprintf("/pp/out.%04d", ctx.Rank),
+				recorder.OCreat|recorder.OWronly, 0o644)
+			if err != nil {
+				return err
+			}
+			for k := 0; k < opsPerRank; k++ {
+				if _, err := ctx.OS.Write(fd, make([]byte, block)); err != nil {
+					return err
+				}
+			}
+			return ctx.OS.Close(fd)
+		case "n1-small":
+			fd, err := ctx.OS.Open("/small.dat", recorder.OCreat|recorder.OWronly, 0o644)
+			if err != nil {
+				return err
+			}
+			small := block / 16
+			if small < 8 {
+				small = 8
+			}
+			for k := 0; k < opsPerRank; k++ {
+				off := int64(k)*int64(ctx.Size)*small + int64(ctx.Rank)*small
+				if _, err := ctx.OS.Pwrite(fd, make([]byte, small), off); err != nil {
+					return err
+				}
+			}
+			return ctx.OS.Close(fd)
+		}
+		return fmt.Errorf("experiments: unknown workload %q", workload)
+	}
+	res, err := harness.Run(harness.Config{Ranks: ranks, PPN: ppn, Semantics: sem},
+		recorder.Meta{App: "pfsbench", Variant: workload}, body)
+	if err != nil {
+		return BenchResult{}, err
+	}
+	if err := res.Err(); err != nil {
+		return BenchResult{}, err
+	}
+	var elapsed uint64
+	for _, rs := range res.Trace.PerRank {
+		if len(rs) > 0 && rs[len(rs)-1].TEnd > elapsed {
+			elapsed = rs[len(rs)-1].TEnd
+		}
+	}
+	st := res.FS.Stats()
+	return BenchResult{
+		Semantics:     sem,
+		Workload:      workload,
+		Ranks:         ranks,
+		ElapsedNS:     elapsed,
+		LockAcquires:  st.LockAcquires,
+		LockContended: st.LockContended,
+		MetaOps:       st.MetaOps,
+		BytesWritten:  st.BytesWritten,
+	}, nil
+}
+
+// PFSBenchTable renders a semantics × workload sweep.
+func PFSBenchTable(results []BenchResult) string {
+	sort.SliceStable(results, func(i, j int) bool {
+		if results[i].Workload != results[j].Workload {
+			return results[i].Workload < results[j].Workload
+		}
+		return results[i].Semantics < results[j].Semantics
+	})
+	var b strings.Builder
+	b.WriteString("Simulated PFS cost by consistency semantics (ablation)\n\n")
+	fmt.Fprintf(&b, "%-12s  %-9s  %6s  %12s  %10s  %10s\n",
+		"workload", "semantics", "ranks", "elapsed(ms)", "lock acqs", "contended")
+	b.WriteString(strings.Repeat("-", 70) + "\n")
+	for _, r := range results {
+		fmt.Fprintf(&b, "%-12s  %-9s  %6d  %12.2f  %10d  %10d\n",
+			r.Workload, r.Semantics, r.Ranks, float64(r.ElapsedNS)/1e6,
+			r.LockAcquires, r.LockContended)
+	}
+	return b.String()
+}

@@ -1,0 +1,315 @@
+// Package mpi is a deterministic simulated MPI runtime. Each rank runs in
+// its own goroutine; point-to-point messages and collectives move both data
+// and *logical time*: a receiver's clock advances to at least the sender's
+// clock plus the message cost, and a collective releases every participant
+// at the same logical instant (the max of the arrival clocks plus the
+// collective's cost). The resulting per-rank timestamp streams are
+// consistent with the happens-before order of the program — the property
+// the paper's conflict analysis depends on (Section 5.2).
+//
+// Every call emits an MPI-layer trace record carrying enough matching
+// information (peer/tag/sequence numbers) for the analyzer to reconstruct
+// the happens-before graph from the trace alone.
+package mpi
+
+import (
+	"fmt"
+	"sync"
+
+	"repro/internal/recorder"
+	"repro/internal/sim"
+)
+
+// Op is a reduction operator.
+type Op int
+
+const (
+	OpSum Op = iota
+	OpMax
+	OpMin
+)
+
+func (o Op) apply(a, b int64) int64 {
+	switch o {
+	case OpSum:
+		return a + b
+	case OpMax:
+		if a > b {
+			return a
+		}
+		return b
+	case OpMin:
+		if a < b {
+			return a
+		}
+		return b
+	}
+	panic("mpi: unknown op")
+}
+
+// World is the shared state of a simulated MPI job (one communicator,
+// MPI_COMM_WORLD).
+type World struct {
+	topo sim.Topology
+	cost sim.CostModel
+
+	mu      sync.Mutex
+	queues  map[p2pKey]chan message
+	rv      *rendezvous
+	collSeq int64 // sequence number of the next collective
+}
+
+type p2pKey struct {
+	src, dst, tag int
+}
+
+type message struct {
+	clock uint64
+	data  []byte
+}
+
+// NewWorld creates the shared MPI state for a topology.
+func NewWorld(topo sim.Topology, cost sim.CostModel) *World {
+	w := &World{
+		topo:   topo,
+		cost:   cost,
+		queues: make(map[p2pKey]chan message),
+	}
+	w.rv = newRendezvous(topo.Ranks)
+	return w
+}
+
+// Size returns the number of ranks.
+func (w *World) Size() int { return w.topo.Ranks }
+
+// Topology returns the rank/node layout.
+func (w *World) Topology() sim.Topology { return w.topo }
+
+func (w *World) queue(k p2pKey) chan message {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	q, ok := w.queues[k]
+	if !ok {
+		q = make(chan message, 4096)
+		w.queues[k] = q
+	}
+	return q
+}
+
+// Proc is one rank's endpoint into the world.
+type Proc struct {
+	world  *World
+	rank   int
+	clock  *sim.Clock
+	tracer *recorder.RankTracer
+}
+
+// NewProc creates rank's endpoint. The clock and tracer are shared with the
+// other layers of that rank's I/O stack.
+func NewProc(w *World, rank int, clock *sim.Clock, tracer *recorder.RankTracer) *Proc {
+	if rank < 0 || rank >= w.topo.Ranks {
+		panic(fmt.Sprintf("mpi: rank %d out of range", rank))
+	}
+	return &Proc{world: w, rank: rank, clock: clock, tracer: tracer}
+}
+
+// Rank returns this process's rank in MPI_COMM_WORLD.
+func (p *Proc) Rank() int { return p.rank }
+
+// Size returns the communicator size.
+func (p *Proc) Size() int { return p.world.topo.Ranks }
+
+// Node returns the compute node hosting this rank.
+func (p *Proc) Node() int { return p.world.topo.NodeOf(p.rank) }
+
+// NodeOfRank returns the compute node hosting an arbitrary rank.
+func (p *Proc) NodeOfRank(r int) int { return p.world.topo.NodeOf(r) }
+
+// Nodes returns the number of compute nodes in the job.
+func (p *Proc) Nodes() int { return p.world.topo.Nodes() }
+
+func (p *Proc) emit(fn recorder.Func, ts uint64, args ...int64) {
+	p.tracer.Emit(recorder.Record{
+		Layer:  recorder.LayerMPI,
+		Func:   fn,
+		TStart: ts,
+		TEnd:   p.clock.Stamp(),
+		Args:   args,
+	})
+}
+
+// Send transmits data to rank dst with the given tag (eager/buffered send:
+// the sender does not wait for the receiver).
+func (p *Proc) Send(dst, tag int, data []byte) {
+	ts := p.clock.Stamp()
+	q := p.world.queue(p2pKey{src: p.rank, dst: dst, tag: tag})
+	sendClock := p.clock.Now()
+	q <- message{clock: sendClock, data: append([]byte(nil), data...)}
+	p.clock.Advance(p.world.cost.MsgLatency / 2) // local injection overhead
+	p.emit(recorder.FuncMPISend, ts, int64(dst), int64(tag), int64(len(data)))
+}
+
+// Recv receives the next message from rank src with the given tag, blocking
+// until one arrives. The local clock advances to at least the sender's send
+// time plus the transfer cost (the happens-before edge).
+func (p *Proc) Recv(src, tag int) []byte {
+	ts := p.clock.Stamp()
+	q := p.world.queue(p2pKey{src: src, dst: p.rank, tag: tag})
+	m := <-q
+	p.clock.MergeAtLeast(m.clock + p.world.cost.MsgCost(int64(len(m.data))))
+	p.clock.Advance(p.world.cost.MsgLatency / 2)
+	p.emit(recorder.FuncMPIRecv, ts, int64(src), int64(tag), int64(len(m.data)))
+	return m.data
+}
+
+// collective runs one rendezvous: deposit data, wait for all ranks, merge
+// clocks, and return the completed round. bytes is the per-rank payload size
+// used for cost accounting.
+func (p *Proc) collective(fn recorder.Func, root int, data []byte, bytes int64) *round {
+	ts := p.clock.Stamp()
+	r := p.world.rv.arrive(p.rank, p.clock.Now(), data)
+	cost := p.world.cost.BarrierCost + uint64(bytes)*p.world.cost.CollPerByte
+	p.clock.MergeAtLeast(r.maxClock)
+	p.clock.Advance(cost)
+	p.emit(fn, ts, int64(root), bytes, r.seq)
+	return r
+}
+
+// Barrier blocks until every rank arrives; all ranks leave at the same
+// logical time.
+func (p *Proc) Barrier() {
+	p.collective(recorder.FuncMPIBarrier, -1, nil, 0)
+}
+
+// Bcast distributes root's data to every rank and returns it.
+func (p *Proc) Bcast(root int, data []byte) []byte {
+	r := p.collective(recorder.FuncMPIBcast, root, data, int64(len(data)))
+	return append([]byte(nil), r.slots[root]...)
+}
+
+// Gather collects every rank's data at root. Root receives a slice indexed
+// by rank; other ranks receive nil.
+func (p *Proc) Gather(root int, data []byte) [][]byte {
+	r := p.collective(recorder.FuncMPIGather, root, data, int64(len(data)))
+	if p.rank != root {
+		return nil
+	}
+	return copySlots(r.slots)
+}
+
+// Allgather collects every rank's data at every rank.
+func (p *Proc) Allgather(data []byte) [][]byte {
+	r := p.collective(recorder.FuncMPIAllgather, -1, data, int64(len(data)))
+	return copySlots(r.slots)
+}
+
+// Scatter distributes parts[i] from root to rank i. Non-root ranks pass nil
+// parts.
+func (p *Proc) Scatter(root int, parts [][]byte) []byte {
+	var mine []byte
+	var size int64
+	if p.rank == root {
+		if len(parts) != p.Size() {
+			panic("mpi: Scatter needs one part per rank")
+		}
+		for _, pt := range parts {
+			size += int64(len(pt))
+		}
+	}
+	r := p.collectiveScatter(root, parts, size)
+	mine = append([]byte(nil), r.scatter[p.rank]...)
+	return mine
+}
+
+func (p *Proc) collectiveScatter(root int, parts [][]byte, bytes int64) *round {
+	ts := p.clock.Stamp()
+	r := p.world.rv.arriveScatter(p.rank, p.clock.Now(), root, parts)
+	cost := p.world.cost.BarrierCost + uint64(bytes)*p.world.cost.CollPerByte
+	p.clock.MergeAtLeast(r.maxClock)
+	p.clock.Advance(cost)
+	p.emit(recorder.FuncMPIScatter, ts, int64(root), bytes, r.seq)
+	return r
+}
+
+// Reduce combines every rank's value with op; root gets the result, other
+// ranks get 0.
+func (p *Proc) Reduce(root int, value int64, op Op) int64 {
+	r := p.collective(recorder.FuncMPIReduce, root, encodeInt64(value), 8)
+	if p.rank != root {
+		return 0
+	}
+	return reduceSlots(r.slots, op)
+}
+
+// Allreduce combines every rank's value with op; every rank gets the result.
+func (p *Proc) Allreduce(value int64, op Op) int64 {
+	r := p.collective(recorder.FuncMPIAllreduce, -1, encodeInt64(value), 8)
+	return reduceSlots(r.slots, op)
+}
+
+// Alltoall sends parts[i] to rank i and returns what each rank sent here.
+func (p *Proc) Alltoall(parts [][]byte) [][]byte {
+	if len(parts) != p.Size() {
+		panic("mpi: Alltoall needs one part per rank")
+	}
+	var bytes int64
+	for _, pt := range parts {
+		bytes += int64(len(pt))
+	}
+	ts := p.clock.Stamp()
+	r := p.world.rv.arriveAlltoall(p.rank, p.clock.Now(), parts)
+	cost := p.world.cost.BarrierCost + uint64(bytes)*p.world.cost.CollPerByte
+	p.clock.MergeAtLeast(r.maxClock)
+	p.clock.Advance(cost)
+	p.emit(recorder.FuncMPIAlltoall, ts, -1, bytes, r.seq)
+	out := make([][]byte, p.Size())
+	for src := 0; src < p.Size(); src++ {
+		out[src] = append([]byte(nil), r.alltoall[src][p.rank]...)
+	}
+	return out
+}
+
+// Compute advances the local clock by the cost model's per-step compute
+// time scaled by units, emitting no trace record (computation is not I/O).
+func (p *Proc) Compute(units int) {
+	if units <= 0 {
+		units = 1
+	}
+	p.clock.Advance(uint64(units) * p.world.cost.LocalCompute)
+}
+
+// Clock exposes the rank's clock (used by the I/O layers sharing it).
+func (p *Proc) Clock() *sim.Clock { return p.clock }
+
+func copySlots(slots [][]byte) [][]byte {
+	out := make([][]byte, len(slots))
+	for i, s := range slots {
+		out[i] = append([]byte(nil), s...)
+	}
+	return out
+}
+
+func reduceSlots(slots [][]byte, op Op) int64 {
+	acc := decodeInt64(slots[0])
+	for _, s := range slots[1:] {
+		acc = op.apply(acc, decodeInt64(s))
+	}
+	return acc
+}
+
+func encodeInt64(v int64) []byte {
+	b := make([]byte, 8)
+	u := uint64(v)
+	for i := 0; i < 8; i++ {
+		b[i] = byte(u >> (8 * i))
+	}
+	return b
+}
+
+func decodeInt64(b []byte) int64 {
+	var u uint64
+	for i := 0; i < 8 && i < len(b); i++ {
+		u |= uint64(b[i]) << (8 * i)
+	}
+	return int64(u)
+}

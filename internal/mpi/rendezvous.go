@@ -1,0 +1,100 @@
+package mpi
+
+import "sync"
+
+// rendezvous implements the collective meeting point. SPMD programs call
+// collectives in the same order on every rank, so a single rendezvous per
+// communicator suffices; each completed round is immutable once released, so
+// a fast rank may begin the next round while slow ranks still read the
+// previous one.
+type rendezvous struct {
+	mu   sync.Mutex
+	cond *sync.Cond
+	n    int
+	cur  *round
+	seq  int64
+}
+
+// round is one collective instance.
+type round struct {
+	seq      int64
+	arrived  int
+	maxClock uint64
+	slots    [][]byte   // per-rank deposited payloads (gather/bcast/reduce)
+	scatter  [][]byte   // root-deposited parts (scatter)
+	alltoall [][][]byte // [src][dst] parts
+	done     bool
+}
+
+func newRendezvous(n int) *rendezvous {
+	rv := &rendezvous{n: n}
+	rv.cond = sync.NewCond(&rv.mu)
+	return rv
+}
+
+func (rv *rendezvous) beginLocked() *round {
+	if rv.cur == nil || rv.cur.done {
+		rv.cur = &round{
+			seq:   rv.seq,
+			slots: make([][]byte, rv.n),
+		}
+		rv.seq++
+	}
+	return rv.cur
+}
+
+func (rv *rendezvous) finishLocked(r *round) {
+	r.arrived++
+	if r.arrived == rv.n {
+		r.done = true
+		rv.cond.Broadcast()
+		return
+	}
+	for !r.done {
+		rv.cond.Wait()
+	}
+}
+
+// arrive deposits data for rank and blocks until all ranks arrive.
+func (rv *rendezvous) arrive(rank int, clock uint64, data []byte) *round {
+	rv.mu.Lock()
+	defer rv.mu.Unlock()
+	r := rv.beginLocked()
+	r.slots[rank] = data
+	if clock > r.maxClock {
+		r.maxClock = clock
+	}
+	rv.finishLocked(r)
+	return r
+}
+
+// arriveScatter is arrive for scatter: only root deposits the parts.
+func (rv *rendezvous) arriveScatter(rank int, clock uint64, root int, parts [][]byte) *round {
+	rv.mu.Lock()
+	defer rv.mu.Unlock()
+	r := rv.beginLocked()
+	if rank == root {
+		r.scatter = parts
+	}
+	if clock > r.maxClock {
+		r.maxClock = clock
+	}
+	rv.finishLocked(r)
+	return r
+}
+
+// arriveAlltoall is arrive for alltoall: every rank deposits a part vector.
+func (rv *rendezvous) arriveAlltoall(rank int, clock uint64, parts [][]byte) *round {
+	rv.mu.Lock()
+	defer rv.mu.Unlock()
+	r := rv.beginLocked()
+	if r.alltoall == nil {
+		r.alltoall = make([][][]byte, rv.n)
+	}
+	r.alltoall[rank] = parts
+	if clock > r.maxClock {
+		r.maxClock = clock
+	}
+	rv.finishLocked(r)
+	return r
+}

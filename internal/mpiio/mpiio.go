@@ -1,0 +1,513 @@
+// Package mpiio emulates the MPI-IO library layer. Independent operations
+// translate to positional POSIX I/O; collective operations implement
+// two-phase I/O: ranks exchange their requests, a configurable set of
+// aggregator processes (by default one per compute node) assembles
+// contiguous file domains, and only the aggregators touch the file system —
+// the mechanism behind the paper's M-1 access patterns (FLASH-fbs, VPIC-IO,
+// LAMMPS-MPIIO) and the "six aggregator processes" of Figure 2(a).
+//
+// Every MPI_File_* call emits an MPI-IO-layer trace record; the POSIX
+// traffic it generates is recorded by the posix layer underneath, giving the
+// multi-level traces the paper's analysis consumes.
+package mpiio
+
+import (
+	"encoding/binary"
+	"fmt"
+	"sort"
+
+	"repro/internal/mpi"
+	"repro/internal/posix"
+	"repro/internal/recorder"
+)
+
+// Access mode flags (MPI_MODE_*-like).
+const (
+	ModeRdonly = 1 << iota
+	ModeWronly
+	ModeRdwr
+	ModeCreate
+	ModeExcl
+	ModeAppend
+)
+
+// Options configures the emulated library.
+type Options struct {
+	// CBNodes is the number of collective-buffering aggregators
+	// (ROMIO's cb_nodes). 0 means one aggregator per compute node.
+	CBNodes int
+	// CBBufferSize caps each aggregator's contiguous write size; larger
+	// domains are written in several consecutive chunks. 0 means 16 MiB.
+	// With CyclicDomains it is the block size of the round-robin domains.
+	CBBufferSize int64
+	// CyclicDomains assigns collective-buffering file domains block-cyclically
+	// (blocks of CBBufferSize handed round-robin to the aggregators) instead
+	// of as one contiguous span per aggregator. This makes each aggregator
+	// write several strided blocks per collective call — the "strided
+	// cyclic" in-file layout of Table 3 (FLASH-fbs, VPIC-IO).
+	CyclicDomains bool
+}
+
+func (o Options) withDefaults(nodes int) Options {
+	if o.CBNodes <= 0 {
+		o.CBNodes = nodes
+	}
+	if o.CBBufferSize <= 0 {
+		o.CBBufferSize = 16 << 20
+	}
+	return o
+}
+
+// File is one rank's handle on a file opened through MPI-IO.
+type File struct {
+	comm   *mpi.Proc
+	os     *posix.Proc
+	tracer *recorder.RankTracer
+	opts   Options
+
+	fd       int
+	path     string
+	amode    int
+	disp     int64 // file-view displacement
+	indepPtr int64 // individual file pointer
+	aggs     []int // aggregator ranks
+	closed   bool
+}
+
+// Open opens path collectively on every rank of the communicator.
+func Open(comm *mpi.Proc, os *posix.Proc, tracer *recorder.RankTracer, path string, amode int, opts Options) (*File, error) {
+	o := opts.withDefaults(comm.Nodes())
+	ts := os.Clock().Stamp()
+	flags := amodeToPosix(amode)
+	fd, err := os.Open(path, flags, 0o644)
+	f := &File{comm: comm, os: os, tracer: tracer, opts: o, fd: fd, path: path, amode: amode}
+	f.aggs = aggregators(comm, o.CBNodes)
+	emit(f, recorder.FuncMPIFileOpen, ts, path, int64(amode), int64(fd))
+	if err != nil {
+		return nil, fmt.Errorf("mpiio: %w", err)
+	}
+	// MPI_File_open is collective.
+	comm.Barrier()
+	return f, nil
+}
+
+func amodeToPosix(amode int) int {
+	var flags int
+	switch {
+	case amode&ModeRdwr != 0:
+		flags = recorder.ORdwr
+	case amode&ModeWronly != 0:
+		flags = recorder.OWronly
+	default:
+		flags = recorder.ORdonly
+	}
+	if amode&ModeCreate != 0 {
+		flags |= recorder.OCreat
+	}
+	if amode&ModeAppend != 0 {
+		flags |= recorder.OAppend
+	}
+	return flags
+}
+
+// aggregators picks the first rank of each of the first cbNodes nodes.
+func aggregators(comm *mpi.Proc, cbNodes int) []int {
+	// Node layout is block-wise; infer the PPN from node of rank size-1.
+	// We enumerate node-leader ranks: a rank is a leader if its node differs
+	// from rank-1's node. Rank 0 is always a leader.
+	var leaders []int
+	prevNode := -1
+	for r := 0; r < comm.Size(); r++ {
+		n := comm.NodeOfRank(r)
+		if n != prevNode {
+			leaders = append(leaders, r)
+			prevNode = n
+		}
+	}
+	if cbNodes < len(leaders) {
+		leaders = leaders[:cbNodes]
+	}
+	return leaders
+}
+
+func emit(f *File, fn recorder.Func, ts uint64, path string, args ...int64) {
+	f.tracer.Emit(recorder.Record{
+		Layer:  recorder.LayerMPIIO,
+		Func:   fn,
+		TStart: ts,
+		TEnd:   f.os.Clock().Stamp(),
+		Path:   path,
+		Args:   args,
+	})
+}
+
+// SetView sets the file-view displacement (etype/filetype structure beyond
+// the displacement is recorded but not interpreted; the applications in the
+// study use explicit offsets).
+func (f *File) SetView(disp, blocklen, stride int64) {
+	ts := f.os.Clock().Stamp()
+	f.disp = disp
+	emit(f, recorder.FuncMPIFileSetView, ts, "", int64(f.fd), disp, blocklen, stride)
+}
+
+// WriteAt writes independently at the given offset (relative to the view
+// displacement).
+func (f *File) WriteAt(off int64, data []byte) error {
+	ts := f.os.Clock().Stamp()
+	_, err := f.os.Pwrite(f.fd, data, f.disp+off)
+	emit(f, recorder.FuncMPIFileWriteAt, ts, "", int64(f.fd), int64(len(data)), off)
+	return err
+}
+
+// ReadAt reads independently at the given offset.
+func (f *File) ReadAt(off, n int64) ([]byte, error) {
+	ts := f.os.Clock().Stamp()
+	data, err := f.os.Pread(f.fd, n, f.disp+off)
+	emit(f, recorder.FuncMPIFileReadAt, ts, "", int64(f.fd), n, off)
+	return data, err
+}
+
+// Write writes independently at the individual file pointer.
+func (f *File) Write(data []byte) error {
+	ts := f.os.Clock().Stamp()
+	_, err := f.os.Pwrite(f.fd, data, f.disp+f.indepPtr)
+	if err == nil {
+		f.indepPtr += int64(len(data))
+	}
+	emit(f, recorder.FuncMPIFileWrite, ts, "", int64(f.fd), int64(len(data)))
+	return err
+}
+
+// Read reads independently at the individual file pointer.
+func (f *File) Read(n int64) ([]byte, error) {
+	ts := f.os.Clock().Stamp()
+	data, err := f.os.Pread(f.fd, n, f.disp+f.indepPtr)
+	if err == nil {
+		f.indepPtr += int64(len(data))
+	}
+	emit(f, recorder.FuncMPIFileRead, ts, "", int64(f.fd), n)
+	return data, err
+}
+
+// SeekPtr moves the individual file pointer (MPI_File_seek).
+func (f *File) SeekPtr(off int64, whence int) int64 {
+	ts := f.os.Clock().Stamp()
+	switch whence {
+	case recorder.SeekSet:
+		f.indepPtr = off
+	case recorder.SeekCur:
+		f.indepPtr += off
+	case recorder.SeekEnd:
+		// View end is not tracked; treat as absolute (applications in the
+		// study do not seek relative to end through MPI-IO).
+		f.indepPtr = off
+	}
+	emit(f, recorder.FuncMPIFileSeek, ts, "", int64(f.fd), off, int64(whence))
+	return f.indepPtr
+}
+
+// request is one rank's contribution to a collective operation.
+type request struct {
+	Rank int64
+	Off  int64
+	Len  int64
+}
+
+func encodeRequest(off int64, data []byte) []byte {
+	buf := make([]byte, 16+len(data))
+	binary.LittleEndian.PutUint64(buf[0:8], uint64(off))
+	binary.LittleEndian.PutUint64(buf[8:16], uint64(len(data)))
+	copy(buf[16:], data)
+	return buf
+}
+
+func decodeRequest(b []byte) (off int64, data []byte) {
+	off = int64(binary.LittleEndian.Uint64(b[0:8]))
+	n := int64(binary.LittleEndian.Uint64(b[8:16]))
+	return off, b[16 : 16+n]
+}
+
+// WriteAtAll performs a collective write: every rank contributes (off, data)
+// — possibly empty — and the aggregator ranks perform the actual file
+// writes over contiguous file domains (two-phase I/O).
+func (f *File) WriteAtAll(off int64, data []byte) error {
+	ts := f.os.Clock().Stamp()
+	slots := f.comm.Allgather(encodeRequest(f.disp+off, data))
+	err := f.aggregateWrite(slots)
+	emit(f, recorder.FuncMPIFileWriteAtAll, ts, "", int64(f.fd), int64(len(data)), off)
+	return err
+}
+
+// WriteAll is the collective write at the individual file pointer.
+func (f *File) WriteAll(data []byte) error {
+	ts := f.os.Clock().Stamp()
+	slots := f.comm.Allgather(encodeRequest(f.disp+f.indepPtr, data))
+	err := f.aggregateWrite(slots)
+	if err == nil {
+		f.indepPtr += int64(len(data))
+	}
+	emit(f, recorder.FuncMPIFileWriteAll, ts, "", int64(f.fd), int64(len(data)))
+	return err
+}
+
+func (f *File) aggregateWrite(slots [][]byte) error {
+	reqs := make([]request, 0, len(slots))
+	payloads := make([][]byte, len(slots))
+	var lo, hi int64
+	first := true
+	for r, s := range slots {
+		off, data := decodeRequest(s)
+		if len(data) == 0 {
+			continue
+		}
+		reqs = append(reqs, request{Rank: int64(r), Off: off, Len: int64(len(data))})
+		payloads[r] = data
+		if first || off < lo {
+			lo = off
+		}
+		if first || off+int64(len(data)) > hi {
+			hi = off + int64(len(data))
+		}
+		first = false
+	}
+	if first {
+		return nil // nothing to write anywhere
+	}
+	myIdx := -1
+	for i, a := range f.aggs {
+		if a == f.comm.Rank() {
+			myIdx = i
+			break
+		}
+	}
+	if myIdx < 0 {
+		return nil // non-aggregators do no file I/O in the write phase
+	}
+	for _, dom := range f.domains(myIdx, lo, hi) {
+		if err := f.writeDomain(reqs, payloads, dom[0], dom[1]); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// domains returns the file-domain ranges owned by aggregator idx over
+// [lo, hi): one contiguous span by default, or round-robin blocks of
+// CBBufferSize with CyclicDomains.
+func (f *File) domains(idx int, lo, hi int64) [][2]int64 {
+	nAgg := int64(len(f.aggs))
+	if !f.opts.CyclicDomains {
+		span := (hi - lo + nAgg - 1) / nAgg
+		dLo := lo + int64(idx)*span
+		dHi := dLo + span
+		if dHi > hi {
+			dHi = hi
+		}
+		if dLo >= dHi {
+			return nil
+		}
+		return [][2]int64{{dLo, dHi}}
+	}
+	var out [][2]int64
+	b := f.opts.CBBufferSize
+	for blk := int64(idx); ; blk += nAgg {
+		dLo := lo + blk*b
+		if dLo >= hi {
+			break
+		}
+		dHi := dLo + b
+		if dHi > hi {
+			dHi = hi
+		}
+		out = append(out, [2]int64{dLo, dHi})
+	}
+	return out
+}
+
+// writeDomain assembles the contributions that fall inside [dLo, dHi) and
+// writes coalesced contiguous runs (bounded by the collective buffer size).
+func (f *File) writeDomain(reqs []request, payloads [][]byte, dLo, dHi int64) error {
+	type piece struct {
+		off  int64
+		data []byte
+	}
+	var pieces []piece
+	for _, rq := range reqs {
+		data := payloads[rq.Rank]
+		pLo, pHi := rq.Off, rq.Off+rq.Len
+		if pHi <= dLo || pLo >= dHi {
+			continue
+		}
+		if pLo < dLo {
+			data = data[dLo-pLo:]
+			pLo = dLo
+		}
+		if pHi > dHi {
+			data = data[:dHi-pLo]
+		}
+		pieces = append(pieces, piece{off: pLo, data: data})
+	}
+	if len(pieces) == 0 {
+		return nil
+	}
+	sort.Slice(pieces, func(i, j int) bool { return pieces[i].off < pieces[j].off })
+	var runOff int64
+	var run []byte
+	flush := func() error {
+		for len(run) > 0 {
+			chunk := run
+			if int64(len(chunk)) > f.opts.CBBufferSize {
+				chunk = chunk[:f.opts.CBBufferSize]
+			}
+			if _, err := f.os.Pwrite(f.fd, chunk, runOff); err != nil {
+				return err
+			}
+			runOff += int64(len(chunk))
+			run = run[len(chunk):]
+		}
+		return nil
+	}
+	for _, pc := range pieces {
+		if run == nil {
+			runOff, run = pc.off, append([]byte(nil), pc.data...)
+			continue
+		}
+		end := runOff + int64(len(run))
+		switch {
+		case pc.off == end:
+			run = append(run, pc.data...)
+		case pc.off < end:
+			// Overlapping contributions: later rank wins within the run.
+			overlap := end - pc.off
+			if overlap >= int64(len(pc.data)) {
+				copy(run[pc.off-runOff:], pc.data)
+			} else {
+				copy(run[pc.off-runOff:], pc.data[:overlap])
+				run = append(run, pc.data[overlap:]...)
+			}
+		default:
+			if err := flush(); err != nil {
+				return err
+			}
+			runOff, run = pc.off, append([]byte(nil), pc.data...)
+		}
+	}
+	return flush()
+}
+
+// ReadAtAll performs a collective read: aggregators read contiguous domains
+// and the data is redistributed to the requesting ranks.
+func (f *File) ReadAtAll(off, n int64) ([]byte, error) {
+	ts := f.os.Clock().Stamp()
+	slots := f.comm.Allgather(encodeRequest(f.disp+off, make([]byte, n)))
+	// Phase 1: every aggregator reads the union range restricted to its domain.
+	var lo, hi int64
+	first := true
+	for _, s := range slots {
+		o, d := decodeRequest(s)
+		if len(d) == 0 {
+			continue
+		}
+		if first || o < lo {
+			lo = o
+		}
+		if first || o+int64(len(d)) > hi {
+			hi = o + int64(len(d))
+		}
+		first = false
+	}
+	var domain []byte
+	var dLo int64
+	if !first {
+		for i, a := range f.aggs {
+			if a != f.comm.Rank() {
+				continue
+			}
+			nAgg := int64(len(f.aggs))
+			span := (hi - lo + nAgg - 1) / nAgg
+			dLo = lo + int64(i)*span
+			dHi := dLo + span
+			if dHi > hi {
+				dHi = hi
+			}
+			if dLo < dHi {
+				var err error
+				domain, err = f.os.Pread(f.fd, dHi-dLo, dLo)
+				if err != nil {
+					return nil, err
+				}
+			}
+		}
+	}
+	// Phase 2: redistribute aggregator buffers to everyone.
+	all := f.comm.Allgather(encodeRequest(dLo, domain))
+	out := make([]byte, n)
+	want := f.disp + off
+	for _, s := range all {
+		o, d := decodeRequest(s)
+		if len(d) == 0 {
+			continue
+		}
+		for i := int64(0); i < int64(len(d)); i++ {
+			pos := o + i - want
+			if pos >= 0 && pos < n {
+				out[pos] = d[i]
+			}
+		}
+	}
+	emit(f, recorder.FuncMPIFileReadAtAll, ts, "", int64(f.fd), n, off)
+	return out, nil
+}
+
+// Sync flushes the file (a commit operation under commit semantics).
+// MPI_File_sync is collective.
+func (f *File) Sync() error {
+	ts := f.os.Clock().Stamp()
+	err := f.os.Fsync(f.fd)
+	emit(f, recorder.FuncMPIFileSync, ts, "", int64(f.fd))
+	f.comm.Barrier()
+	return err
+}
+
+// SetSize truncates/extends the file (collective).
+func (f *File) SetSize(size int64) error {
+	ts := f.os.Clock().Stamp()
+	var err error
+	if f.comm.Rank() == 0 {
+		err = f.os.Ftruncate(f.fd, size)
+	}
+	emit(f, recorder.FuncMPIFileSetSize, ts, "", int64(f.fd), size)
+	f.comm.Barrier()
+	return err
+}
+
+// SetAtomicity toggles MPI-IO atomic mode (recorded; the simulated PFS
+// applies its configured semantics regardless).
+func (f *File) SetAtomicity(on bool) {
+	ts := f.os.Clock().Stamp()
+	v := int64(0)
+	if on {
+		v = 1
+	}
+	emit(f, recorder.FuncMPIFileSetAtomicity, ts, "", int64(f.fd), v)
+	f.comm.Barrier()
+}
+
+// Close closes the file collectively. MPI_File_close synchronizes the
+// communicator before releasing the file, so every rank's outstanding
+// transfers complete before any descriptor closes.
+func (f *File) Close() error {
+	if f.closed {
+		return fmt.Errorf("mpiio: double close of %s", f.path)
+	}
+	f.closed = true
+	ts := f.os.Clock().Stamp()
+	f.comm.Barrier()
+	err := f.os.Close(f.fd)
+	emit(f, recorder.FuncMPIFileClose, ts, "", int64(f.fd))
+	f.comm.Barrier()
+	return err
+}
+
+// Aggregators exposes the aggregator ranks (for tests and pattern checks).
+func (f *File) Aggregators() []int { return append([]int(nil), f.aggs...) }

@@ -1,0 +1,394 @@
+package pfs
+
+import "fmt"
+
+// Client is one process's view of the file system. A client always observes
+// its own writes in program order; what it observes of *other* processes'
+// writes depends on the consistency model. Clients are not safe for
+// concurrent use — each simulated rank owns exactly one.
+type Client struct {
+	fs      *FileSystem
+	rank    int
+	node    int
+	pending map[string][]extent // written but not yet published, per path
+	crashed bool
+}
+
+// NewClient creates the client for a rank on a node.
+func (fs *FileSystem) NewClient(rank, node int) *Client {
+	return &Client{fs: fs, rank: rank, node: node, pending: make(map[string][]extent)}
+}
+
+// Rank returns the owning rank.
+func (c *Client) Rank() int { return c.rank }
+
+// FS returns the shared file system this client talks to.
+func (c *Client) FS() *FileSystem { return c.fs }
+
+// Handle is an open file description.
+type Handle struct {
+	c        *Client
+	path     string
+	flags    int
+	openSeq  uint64 // publish sequence snapshot at open (session visibility)
+	closed   bool
+	readable bool
+	writable bool
+}
+
+// Path returns the file path this handle refers to.
+func (h *Handle) Path() string { return h.path }
+
+// Open flag bits (match recorder's conventional values).
+const (
+	ORdonly = 0x0
+	OWronly = 0x1
+	ORdwr   = 0x2
+	OCreat  = 0x40
+	OTrunc  = 0x200
+	OAppend = 0x400
+
+	accessMask = 0x3
+)
+
+// Open opens path with POSIX-style flags at simulation time now, returning
+// the handle and the simulated cost of the operation.
+func (c *Client) Open(path string, flags int, now uint64) (*Handle, uint64, error) {
+	fs := c.fs
+	fs.mu.Lock()
+	defer fs.mu.Unlock()
+	fs.stats.MetaOps++
+	cost := fs.opts.Cost.MetaRPC + fs.opts.Cost.OpenCost
+	f, err := fs.ensure(path, flags&OCreat != 0)
+	if err != nil {
+		return nil, cost, fmt.Errorf("open %s: %w", path, err)
+	}
+	if flags&OTrunc != 0 {
+		if f.laminated {
+			return nil, cost, fmt.Errorf("open %s: %w", path, ErrLaminated)
+		}
+		f.truncateLocked(0)
+		delete(c.pending, path) // truncation discards this client's unpublished writes too
+	}
+	f.sharers++
+	if f.openers == nil {
+		f.openers = make(map[int32]bool)
+	}
+	f.openers[int32(c.rank)] = true
+	acc := flags & accessMask
+	h := &Handle{
+		c:        c,
+		path:     path,
+		flags:    flags,
+		openSeq:  fs.pubSeq,
+		readable: acc == ORdonly || acc == ORdwr,
+		writable: acc == OWronly || acc == ORdwr,
+	}
+	return h, cost, nil
+}
+
+// visibleLocked returns the visibility predicate for this handle under the
+// file system's consistency model. Callers hold fs.mu. A laminated file's
+// published content is visible to everyone regardless of the model
+// (UnifyFS lamination renders the file permanently read-only and globally
+// visible, §3.2).
+func (h *Handle) visibleLocked(now uint64) func(extent) bool {
+	if f, err := h.c.fs.ensure(h.path, false); err == nil && f.laminated {
+		return func(extent) bool { return true }
+	}
+	switch h.c.fs.semFor(h.path) {
+	case Strong, Commit:
+		// Everything published is visible. (The models differ in *when*
+		// publishing happens, not in read-side filtering.)
+		return func(extent) bool { return true }
+	case Session:
+		openSeq := h.openSeq
+		return func(e extent) bool { return e.seq <= openSeq }
+	case Eventual:
+		delay := h.c.fs.opts.EventualDelay
+		rank := int32(h.c.rank)
+		// Own writes are always visible (per-process ordering); remote
+		// writes propagate after the delay.
+		return func(e extent) bool { return e.writer == rank || e.pubTime+delay <= now }
+	default:
+		panic("pfs: unknown semantics")
+	}
+}
+
+// Write stores data at offset off at simulation time now. Under strong
+// semantics the write publishes immediately (paying the range-lock cost);
+// under commit/session it is buffered pending a commit/close; under eventual
+// it publishes with a propagation delay.
+func (h *Handle) Write(off int64, data []byte, now uint64) (uint64, error) {
+	if h.c.crashed {
+		return 0, ErrCrashed
+	}
+	if h.closed {
+		return 0, ErrClosed
+	}
+	if !h.writable {
+		return 0, ErrReadOnly
+	}
+	fs := h.c.fs
+	fs.mu.Lock()
+	defer fs.mu.Unlock()
+	f, err := fs.ensure(h.path, false)
+	if err != nil {
+		return 0, err
+	}
+	if f.laminated {
+		return 0, ErrLaminated
+	}
+	fs.stats.Writes++
+	fs.stats.BytesWritten += int64(len(data))
+	fs.serverSpan(off, int64(len(data)))
+	cost := fs.opts.Cost.IOCost(int64(len(data)))
+	e := extent{off: off, data: append([]byte(nil), data...), writer: int32(h.c.rank)}
+	switch fs.semFor(h.path) {
+	case Strong:
+		cost += fs.lockCostLocked(f)
+		fs.publishLocked(f, []extent{e}, now)
+	case Commit, Session:
+		h.c.pending[h.path] = append(h.c.pending[h.path], e)
+	case Eventual:
+		fs.publishLocked(f, []extent{e}, now)
+	}
+	return cost, nil
+}
+
+// lockCostLocked models the distributed range-lock acquisition that strong
+// semantics requires (Section 3.1): one lock-manager round trip per data
+// operation. Contention is tallied in the stats (LockContended counts
+// acquisitions that found other processes sharing the file) but kept out of
+// the charged cost so logical time stays independent of goroutine
+// scheduling — simulated runs are reproducible, and the strong-vs-relaxed
+// gap is the per-operation lock round trip itself.
+func (fs *FileSystem) lockCostLocked(f *file) uint64 {
+	fs.stats.LockAcquires++
+	f.acquires++
+	return fs.opts.Cost.LockRPC
+}
+
+// Read returns up to n bytes from offset off as visible to this handle at
+// time now. Bytes inside the visible size that no visible extent covers read
+// as zero (holes). The returned count is min(n, visibleSize-off), never
+// negative.
+func (h *Handle) Read(off, n int64, now uint64) ([]byte, uint64, error) {
+	if h.closed {
+		return nil, 0, ErrClosed
+	}
+	if !h.readable {
+		return nil, 0, ErrWriteOnly
+	}
+	fs := h.c.fs
+	fs.mu.Lock()
+	defer fs.mu.Unlock()
+	f, err := fs.ensure(h.path, false)
+	if err != nil {
+		return nil, 0, err
+	}
+	fs.stats.Reads++
+	fs.serverSpan(off, n)
+	cost := fs.opts.Cost.IOCost(n)
+	if fs.semFor(h.path) == Strong {
+		cost += fs.lockCostLocked(f)
+	}
+	visible := h.visibleLocked(now)
+	// Stale-read accounting: any published extent overlapping the request
+	// that the model hides from this reader.
+	for _, e := range f.published {
+		if !visible(e) && e.off < off+n && e.end() > off {
+			fs.stats.StaleReads++
+			break
+		}
+	}
+	own := h.c.pending[h.path]
+	if fs.opts.UnorderedSameProcess && len(own) > 1 {
+		// BurstFS-style: same-process overlapping writes resolve in an
+		// undefined order; model the worst case by overlaying the client's
+		// pending writes newest-first, so the oldest write wins overlaps.
+		rev := make([]extent, len(own))
+		for i, e := range own {
+			rev[len(own)-1-i] = e
+		}
+		own = rev
+	}
+	buf, visEnd := materialize(f, off, n, visible, own)
+	avail := visEnd - off
+	if avail <= 0 {
+		return nil, cost, nil
+	}
+	if avail > n {
+		avail = n
+	}
+	fs.stats.BytesRead += avail
+	return buf[:avail], cost, nil
+}
+
+// VisibleSize returns the file size as visible to this handle at time now:
+// the maximum end offset over visible published extents and the client's own
+// pending extents. POSIX append mode and SEEK_END resolve against this.
+func (h *Handle) VisibleSize(now uint64) int64 {
+	fs := h.c.fs
+	fs.mu.Lock()
+	defer fs.mu.Unlock()
+	f, err := fs.ensure(h.path, false)
+	if err != nil {
+		return 0
+	}
+	visible := h.visibleLocked(now)
+	var size int64
+	for _, e := range f.published {
+		if visible(e) && e.end() > size {
+			size = e.end()
+		}
+	}
+	for _, e := range h.c.pending[h.path] {
+		if e.end() > size {
+			size = e.end()
+		}
+	}
+	if fs.semFor(h.path) == Strong && f.size > size {
+		size = f.size // truncation may have shrunk below extent ends
+	}
+	return size
+}
+
+// Commit publishes this client's pending writes to the file (the commit
+// operation of commit semantics: fsync/fdatasync). Under session semantics
+// fsync persists data but does not make it visible to other processes, so
+// pending writes stay pending. Under strong/eventual there is nothing to
+// publish. Returns the simulated cost.
+func (h *Handle) Commit(now uint64) (uint64, error) {
+	if h.closed {
+		return 0, ErrClosed
+	}
+	fs := h.c.fs
+	fs.mu.Lock()
+	defer fs.mu.Unlock()
+	fs.stats.Commits++
+	cost := fs.opts.Cost.SyncCost
+	if fs.semFor(h.path) != Commit {
+		return cost, nil
+	}
+	f, err := fs.ensure(h.path, false)
+	if err != nil {
+		return cost, err
+	}
+	fs.publishLocked(f, h.c.pending[h.path], now)
+	delete(h.c.pending, h.path)
+	return cost, nil
+}
+
+// Close closes the handle. Under commit and session semantics closing
+// publishes the client's pending writes (close acts as a commit, and session
+// visibility is close-to-open). Returns the simulated cost.
+func (h *Handle) Close(now uint64) (uint64, error) {
+	if h.closed {
+		return 0, ErrClosed
+	}
+	fs := h.c.fs
+	fs.mu.Lock()
+	defer fs.mu.Unlock()
+	h.closed = true
+	cost := fs.opts.Cost.CloseCost + fs.opts.Cost.MetaRPC
+	f, err := fs.ensure(h.path, false)
+	if err != nil {
+		return cost, err
+	}
+	if f.sharers > 0 {
+		f.sharers--
+	}
+	switch fs.semFor(h.path) {
+	case Commit, Session:
+		fs.publishLocked(f, h.c.pending[h.path], now)
+		delete(h.c.pending, h.path)
+	}
+	return cost, nil
+}
+
+// Laminate implements UnifyFS's lamination (§3.2): the client's pending
+// writes publish, and the file becomes permanently read-only with its
+// content globally visible under every consistency model. Returns the
+// simulated cost (a sync plus a metadata round trip).
+func (h *Handle) Laminate(now uint64) (uint64, error) {
+	if h.closed {
+		return 0, ErrClosed
+	}
+	fs := h.c.fs
+	fs.mu.Lock()
+	defer fs.mu.Unlock()
+	f, err := fs.ensure(h.path, false)
+	cost := fs.opts.Cost.SyncCost + fs.opts.Cost.MetaRPC
+	if err != nil {
+		return cost, err
+	}
+	fs.stats.Commits++
+	fs.publishLocked(f, h.c.pending[h.path], now)
+	delete(h.c.pending, h.path)
+	f.laminated = true
+	return cost, nil
+}
+
+// Truncate sets the file length; the change is immediately visible in all
+// models (metadata-path operation).
+func (h *Handle) Truncate(length int64) (uint64, error) {
+	if h.closed {
+		return 0, ErrClosed
+	}
+	fs := h.c.fs
+	fs.mu.Lock()
+	defer fs.mu.Unlock()
+	fs.stats.MetaOps++
+	f, err := fs.ensure(h.path, false)
+	if err != nil {
+		return fs.opts.Cost.MetaRPC, err
+	}
+	if f.laminated {
+		return fs.opts.Cost.MetaRPC, ErrLaminated
+	}
+	f.truncateLocked(length)
+	// Drop this client's pending extents beyond the new length.
+	kept := h.c.pending[h.path][:0]
+	for _, e := range h.c.pending[h.path] {
+		if e.off >= length {
+			continue
+		}
+		if e.end() > length {
+			e.data = e.data[:length-e.off]
+		}
+		kept = append(kept, e)
+	}
+	if len(kept) == 0 {
+		delete(h.c.pending, h.path)
+	} else {
+		h.c.pending[h.path] = kept
+	}
+	return fs.opts.Cost.MetaRPC, nil
+}
+
+// Crash simulates the client's process dying: all unpublished (pending)
+// writes are lost and its handles become unusable. Under commit/session
+// semantics this is exactly the data a checkpoint loses when a node fails
+// before fsync/close — the durability flip side of buffering writes that
+// strong semantics (publish-on-write) does not have. The file system itself
+// survives (server-side state is durable).
+func (c *Client) Crash() {
+	c.fs.mu.Lock()
+	defer c.fs.mu.Unlock()
+	c.pending = make(map[string][]extent)
+	c.crashed = true
+}
+
+// Crashed reports whether Crash was called.
+func (c *Client) Crashed() bool { return c.crashed }
+
+// PendingBytes reports how many unpublished bytes the client holds for path
+// (useful in tests and the semantics checker).
+func (c *Client) PendingBytes(path string) int64 {
+	var n int64
+	for _, e := range c.pending[path] {
+		n += int64(len(e.data))
+	}
+	return n
+}

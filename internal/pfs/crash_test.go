@@ -1,0 +1,88 @@
+package pfs
+
+import (
+	"bytes"
+	"errors"
+	"testing"
+)
+
+// Failure injection: a process dying before its commit loses exactly the
+// data the relaxed models buffer — the durability consequence of commit
+// semantics that motivates fsync-per-checkpoint protocols. Under strong
+// semantics (publish-on-write) the same crash loses nothing.
+
+func TestCrashLosesUncommittedWrites(t *testing.T) {
+	fs := newFS(Commit)
+	w := fs.NewClient(0, 0)
+	r := fs.NewClient(1, 0)
+	h := mustOpen(t, w, "/ckpt", OCreat|OWronly, 10)
+	writeAll(t, h, 0, []byte("saved"), 20)
+	if _, err := h.Commit(30); err != nil { // fsync: first half durable
+		t.Fatal(err)
+	}
+	writeAll(t, h, 5, []byte("-lost"), 40) // never committed
+	w.Crash()
+
+	hr := mustOpen(t, r, "/ckpt", ORdonly, 50)
+	got := readAll(t, hr, 0, 10, 60)
+	if !bytes.Equal(got, []byte("saved")) {
+		t.Fatalf("post-crash content = %q, want only the committed prefix", got)
+	}
+	// The crashed client's handles are dead.
+	if _, err := h.Write(0, []byte("x"), 70); !errors.Is(err, ErrCrashed) {
+		t.Fatalf("write after crash: %v", err)
+	}
+	if !w.Crashed() {
+		t.Fatal("Crashed() false")
+	}
+}
+
+func TestCrashUnderStrongLosesNothing(t *testing.T) {
+	fs := newFS(Strong)
+	w := fs.NewClient(0, 0)
+	r := fs.NewClient(1, 0)
+	h := mustOpen(t, w, "/ckpt", OCreat|OWronly, 10)
+	writeAll(t, h, 0, []byte("published"), 20)
+	w.Crash() // publish-on-write: nothing pending to lose
+	hr := mustOpen(t, r, "/ckpt", ORdonly, 30)
+	if got := readAll(t, hr, 0, 9, 40); !bytes.Equal(got, []byte("published")) {
+		t.Fatalf("strong semantics lost data at crash: %q", got)
+	}
+}
+
+func TestCrashUnderSessionLosesWholeOpenSession(t *testing.T) {
+	fs := newFS(Session)
+	w := fs.NewClient(0, 0)
+	r := fs.NewClient(1, 0)
+	h := mustOpen(t, w, "/ckpt", OCreat|OWronly, 10)
+	writeAll(t, h, 0, []byte("everything"), 20)
+	// fsync does not publish under session semantics — the whole session's
+	// data is gone if the process dies before close.
+	if _, err := h.Commit(30); err != nil {
+		t.Fatal(err)
+	}
+	w.Crash()
+	hr := mustOpen(t, r, "/ckpt", ORdonly, 40)
+	if got := readAll(t, hr, 0, 10, 50); len(got) != 0 {
+		t.Fatalf("session semantics surfaced uncloseable data after crash: %q", got)
+	}
+}
+
+func TestCrashDoesNotAffectOtherClients(t *testing.T) {
+	fs := newFS(Commit)
+	a := fs.NewClient(0, 0)
+	b := fs.NewClient(1, 0)
+	ha := mustOpen(t, a, "/a", OCreat|OWronly, 10)
+	hb := mustOpen(t, b, "/b", OCreat|OWronly, 10)
+	writeAll(t, ha, 0, []byte("a"), 20)
+	writeAll(t, hb, 0, []byte("b"), 20)
+	a.Crash()
+	if _, err := hb.Commit(30); err != nil {
+		t.Fatal(err)
+	}
+	r := fs.NewClient(2, 0)
+	hr := mustOpen(t, r, "/b", ORdonly, 40)
+	if got := readAll(t, hr, 0, 1, 50); !bytes.Equal(got, []byte("b")) {
+		t.Fatalf("survivor's data affected by peer crash: %q", got)
+	}
+}

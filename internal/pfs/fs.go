@@ -1,0 +1,347 @@
+package pfs
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"sync"
+
+	"repro/internal/sim"
+)
+
+// Errors returned by file system operations.
+var (
+	ErrNotExist  = errors.New("pfs: file does not exist")
+	ErrExist     = errors.New("pfs: file already exists")
+	ErrIsDir     = errors.New("pfs: path is a directory")
+	ErrClosed    = errors.New("pfs: handle is closed")
+	ErrReadOnly  = errors.New("pfs: handle not open for writing")
+	ErrWriteOnly = errors.New("pfs: handle not open for reading")
+	ErrLaminated = errors.New("pfs: file is laminated (permanently read-only)")
+	ErrCrashed   = errors.New("pfs: client process has crashed")
+)
+
+// Options configures a FileSystem.
+type Options struct {
+	Semantics     Semantics
+	StripeSize    int64  // bytes per stripe; <=0 means 1 MiB
+	DataServers   int    // number of data servers; <=0 means 4
+	EventualDelay uint64 // visibility delay for Eventual semantics, ns
+	Cost          sim.CostModel
+	// UnorderedSameProcess models BurstFS (§3.5): conflicting accesses by
+	// the SAME process are not guaranteed to take effect in program order —
+	// a read following two overlapping writes from the same process may
+	// return the value of either. Implemented by overlaying a client's
+	// unpublished writes in reverse order on reads. Applications with
+	// same-process conflicts (WAW-S/RAW-S in Table 4) misbehave here even
+	// when the base semantics would otherwise suffice.
+	UnorderedSameProcess bool
+	// PathRules override the consistency model per path prefix — the
+	// "tunable consistency semantics" direction the paper cites (§2.3,
+	// Kuhn et al. / Vilayannur et al.): e.g. run checkpoints under commit
+	// semantics while a shared exchange file keeps strong semantics. First
+	// matching rule wins; unmatched paths use Options.Semantics.
+	PathRules []PathRule
+}
+
+// PathRule binds a path prefix to a consistency model.
+type PathRule struct {
+	Prefix    string
+	Semantics Semantics
+}
+
+// semFor resolves the consistency model governing a path.
+func (fs *FileSystem) semFor(path string) Semantics {
+	for _, r := range fs.opts.PathRules {
+		if len(path) >= len(r.Prefix) && path[:len(r.Prefix)] == r.Prefix {
+			return r.Semantics
+		}
+	}
+	return fs.opts.Semantics
+}
+
+func (o Options) withDefaults() Options {
+	if o.StripeSize <= 0 {
+		o.StripeSize = 1 << 20
+	}
+	if o.DataServers <= 0 {
+		o.DataServers = 4
+	}
+	if o.EventualDelay == 0 {
+		o.EventualDelay = 50_000_000 // 50 ms
+	}
+	if o.Cost == (sim.CostModel{}) {
+		o.Cost = sim.DefaultCostModel()
+	}
+	return o
+}
+
+// extent is one published or pending write.
+type extent struct {
+	off     int64
+	data    []byte
+	seq     uint64 // publish sequence number (0 while pending)
+	pubTime uint64 // true simulation time of publish
+	writer  int32
+}
+
+func (e extent) end() int64 { return e.off + int64(len(e.data)) }
+
+// file is the server-side state of one file.
+type file struct {
+	published []extent       // in publish (seq) order
+	size      int64          // max published end, adjusted by truncate
+	sharers   int            // handles currently open
+	openers   map[int32]bool // distinct clients that ever opened the file
+	acquires  int64          // strong-mode lock acquisitions on this file
+	dir       bool
+	laminated bool // UnifyFS lamination: permanently read-only, globally visible
+}
+
+// Stats aggregates server-side counters. Per-server request counts expose
+// the striping layout; lock counters expose the strong-semantics overhead
+// that motivates relaxed models (Section 3.1).
+type Stats struct {
+	Reads, Writes    int64
+	BytesRead        int64
+	BytesWritten     int64
+	MetaOps          int64
+	Commits          int64
+	LockAcquires     int64
+	LockContended    int64 // acquires on files shared by >1 distinct client
+	ServerRequests   []int64
+	PublishedExtents int64
+	StaleReads       int64 // reads that observed fewer bytes than the strong view held
+}
+
+// FileSystem is the shared, server-side half of the PFS. Clients (one per
+// rank) are created with NewClient and hold the pending-write state.
+type FileSystem struct {
+	mu     sync.Mutex
+	opts   Options
+	files  map[string]*file
+	pubSeq uint64
+	stats  Stats
+}
+
+// New creates a file system with the given options.
+func New(opts Options) *FileSystem {
+	o := opts.withDefaults()
+	return &FileSystem{
+		opts:  o,
+		files: make(map[string]*file),
+		stats: Stats{ServerRequests: make([]int64, o.DataServers)},
+	}
+}
+
+// Options returns the (defaulted) options the file system runs with.
+func (fs *FileSystem) Options() Options { return fs.opts }
+
+// Stats returns a snapshot of the server-side counters. LockContended is
+// derived deterministically: every acquisition on a file that more than one
+// distinct client opened counts as contended (lock traffic that a shared
+// lock manager must serialize), independent of goroutine scheduling.
+func (fs *FileSystem) Stats() Stats {
+	fs.mu.Lock()
+	defer fs.mu.Unlock()
+	s := fs.stats
+	s.ServerRequests = append([]int64(nil), fs.stats.ServerRequests...)
+	s.LockContended = 0
+	for _, f := range fs.files {
+		if len(f.openers) > 1 {
+			s.LockContended += f.acquires
+		}
+	}
+	return s
+}
+
+// serverSpan counts one request per data server whose stripes intersect
+// [off, off+n).
+func (fs *FileSystem) serverSpan(off, n int64) {
+	if n <= 0 {
+		return
+	}
+	first := off / fs.opts.StripeSize
+	last := (off + n - 1) / fs.opts.StripeSize
+	for s := first; s <= last; s++ {
+		fs.stats.ServerRequests[s%int64(fs.opts.DataServers)]++
+	}
+}
+
+// mkdir creates a directory entry (directories are flat markers; the
+// analysis only needs the metadata traffic).
+func (fs *FileSystem) Mkdir(path string) (cost uint64, err error) {
+	fs.mu.Lock()
+	defer fs.mu.Unlock()
+	fs.stats.MetaOps++
+	if f, ok := fs.files[path]; ok {
+		if f.dir {
+			return fs.opts.Cost.MetaRPC, ErrExist
+		}
+		return fs.opts.Cost.MetaRPC, ErrExist
+	}
+	fs.files[path] = &file{dir: true}
+	return fs.opts.Cost.MetaRPC, nil
+}
+
+// Unlink removes a file.
+func (fs *FileSystem) Unlink(path string) (cost uint64, err error) {
+	fs.mu.Lock()
+	defer fs.mu.Unlock()
+	fs.stats.MetaOps++
+	f, ok := fs.files[path]
+	if !ok {
+		return fs.opts.Cost.MetaRPC, ErrNotExist
+	}
+	if f.dir {
+		return fs.opts.Cost.MetaRPC, ErrIsDir
+	}
+	delete(fs.files, path)
+	return fs.opts.Cost.MetaRPC, nil
+}
+
+// Rename moves a file from old to new.
+func (fs *FileSystem) Rename(oldPath, newPath string) (cost uint64, err error) {
+	fs.mu.Lock()
+	defer fs.mu.Unlock()
+	fs.stats.MetaOps++
+	f, ok := fs.files[oldPath]
+	if !ok {
+		return fs.opts.Cost.MetaRPC, ErrNotExist
+	}
+	delete(fs.files, oldPath)
+	fs.files[newPath] = f
+	return fs.opts.Cost.MetaRPC, nil
+}
+
+// FileInfo is the result of a Stat.
+type FileInfo struct {
+	Path  string
+	Size  int64
+	IsDir bool
+}
+
+// Stat returns metadata for path. The size reported is the published
+// (strong-view) size, as a real metadata server would report.
+func (fs *FileSystem) Stat(path string) (FileInfo, uint64, error) {
+	fs.mu.Lock()
+	defer fs.mu.Unlock()
+	fs.stats.MetaOps++
+	f, ok := fs.files[path]
+	if !ok {
+		return FileInfo{}, fs.opts.Cost.MetaRPC, ErrNotExist
+	}
+	return FileInfo{Path: path, Size: f.size, IsDir: f.dir}, fs.opts.Cost.MetaRPC, nil
+}
+
+// Exists reports whether a path exists (no cost accounting; used by tests
+// and examples).
+func (fs *FileSystem) Exists(path string) bool {
+	fs.mu.Lock()
+	defer fs.mu.Unlock()
+	_, ok := fs.files[path]
+	return ok
+}
+
+// Paths returns all existing paths in sorted order.
+func (fs *FileSystem) Paths() []string {
+	fs.mu.Lock()
+	defer fs.mu.Unlock()
+	out := make([]string, 0, len(fs.files))
+	for p := range fs.files {
+		out = append(out, p)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// ensure returns the file at path, creating it if create is set.
+func (fs *FileSystem) ensure(path string, create bool) (*file, error) {
+	f, ok := fs.files[path]
+	if !ok {
+		if !create {
+			return nil, ErrNotExist
+		}
+		f = &file{}
+		fs.files[path] = f
+	}
+	if f.dir {
+		return nil, ErrIsDir
+	}
+	return f, nil
+}
+
+// truncateLocked resets a file to the given length. Data above length is
+// discarded; the operation is globally visible immediately in every model
+// (metadata-path operation).
+func (f *file) truncateLocked(length int64) {
+	if length < 0 {
+		length = 0
+	}
+	kept := f.published[:0]
+	for _, e := range f.published {
+		if e.off >= length {
+			continue
+		}
+		if e.end() > length {
+			e.data = e.data[:length-e.off]
+		}
+		kept = append(kept, e)
+	}
+	f.published = kept
+	f.size = length
+}
+
+// publishLocked appends extents to the file's published list, assigning
+// sequence numbers, and updates size.
+func (fs *FileSystem) publishLocked(f *file, exts []extent, now uint64) {
+	for _, e := range exts {
+		fs.pubSeq++
+		e.seq = fs.pubSeq
+		e.pubTime = now
+		f.published = append(f.published, e)
+		if e.end() > f.size {
+			f.size = e.end()
+		}
+		fs.stats.PublishedExtents++
+	}
+}
+
+// materialize builds the visible content of [off, off+n) for a reader:
+// published extents passing the visibility predicate are applied in publish
+// order, then the reader's own pending extents are overlaid in write order.
+// Returns the bytes and the highest visible end offset within the range.
+func materialize(f *file, off, n int64, visible func(extent) bool, own []extent) ([]byte, int64) {
+	buf := make([]byte, n)
+	var visEnd int64
+	apply := func(e extent) {
+		lo, hi := e.off, e.end()
+		if hi > visEnd {
+			visEnd = hi
+		}
+		if hi <= off || lo >= off+n {
+			return
+		}
+		if lo < off {
+			e.data = e.data[off-lo:]
+			lo = off
+		}
+		if hi > off+n {
+			e.data = e.data[:off+n-lo]
+		}
+		copy(buf[lo-off:], e.data)
+	}
+	for _, e := range f.published {
+		if visible(e) {
+			apply(e)
+		}
+	}
+	for _, e := range own {
+		apply(e)
+	}
+	return buf, visEnd
+}
+
+func (fs *FileSystem) String() string {
+	return fmt.Sprintf("pfs{%s, %d servers, stripe %d}", fs.opts.Semantics, fs.opts.DataServers, fs.opts.StripeSize)
+}

@@ -1,0 +1,146 @@
+package pfs
+
+import (
+	"bytes"
+	"math/rand"
+	"testing"
+)
+
+// schedule is a random single-file op sequence executed identically against
+// several consistency models.
+type schedOp struct {
+	kind string // "write", "fsync", "close-open", "read"
+	off  int64
+	data []byte
+}
+
+func randomSchedule(rng *rand.Rand) []schedOp {
+	n := 5 + rng.Intn(25)
+	ops := make([]schedOp, 0, n)
+	for i := 0; i < n; i++ {
+		switch rng.Intn(6) {
+		case 0:
+			ops = append(ops, schedOp{kind: "fsync"})
+		case 1:
+			ops = append(ops, schedOp{kind: "close-open"})
+		case 2, 3:
+			off := int64(rng.Intn(200))
+			data := bytes.Repeat([]byte{byte(rng.Intn(256))}, rng.Intn(50)+1)
+			ops = append(ops, schedOp{kind: "write", off: off, data: data})
+		default:
+			ops = append(ops, schedOp{kind: "read", off: int64(rng.Intn(200))})
+		}
+	}
+	return ops
+}
+
+// runSchedule executes the ops: writer is rank 0 (writes/fsyncs/reopens),
+// reader is rank 1 (reads through a handle reopened at each close-open).
+// It returns the reader's read results in order.
+func runSchedule(sem Semantics, ops []schedOp) [][]byte {
+	fs := New(Options{Semantics: sem})
+	w := fs.NewClient(0, 0)
+	r := fs.NewClient(1, 0)
+	now := uint64(10)
+	hw, _, err := w.Open("/f", OCreat|OWronly, now)
+	if err != nil {
+		panic(err)
+	}
+	hr, _, err := r.Open("/f", ORdonly, now)
+	if err != nil {
+		panic(err)
+	}
+	var reads [][]byte
+	for _, op := range ops {
+		now += 10
+		switch op.kind {
+		case "write":
+			if _, err := hw.Write(op.off, op.data, now); err != nil {
+				panic(err)
+			}
+		case "fsync":
+			if _, err := hw.Commit(now); err != nil {
+				panic(err)
+			}
+		case "close-open":
+			// Writer closes and reopens; reader also reopens (fresh
+			// session) — the full close-to-open discipline.
+			if _, err := hw.Close(now); err != nil {
+				panic(err)
+			}
+			if hw, _, err = w.Open("/f", OWronly, now+1); err != nil {
+				panic(err)
+			}
+			if _, err := hr.Close(now); err != nil {
+				panic(err)
+			}
+			if hr, _, err = r.Open("/f", ORdonly, now+2); err != nil {
+				panic(err)
+			}
+		case "read":
+			got, _, err := hr.Read(op.off, 64, now)
+			if err != nil {
+				panic(err)
+			}
+			reads = append(reads, got)
+		}
+	}
+	return reads
+}
+
+// TestPropertyVisibilityHierarchy: for the same schedule, every read under
+// a weaker model returns a prefix-compatible subset of what strong
+// semantics returns — strong sees at least as many bytes as commit, and
+// commit at least as many as session. (Values may differ only where the
+// weaker model legitimately returns older data; sizes are monotonic.)
+func TestPropertyVisibilityHierarchy(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	for trial := 0; trial < 200; trial++ {
+		ops := randomSchedule(rng)
+		strong := runSchedule(Strong, ops)
+		commit := runSchedule(Commit, ops)
+		session := runSchedule(Session, ops)
+		if len(strong) != len(commit) || len(commit) != len(session) {
+			t.Fatalf("trial %d: read counts differ", trial)
+		}
+		for i := range strong {
+			if len(commit[i]) > len(strong[i]) {
+				t.Fatalf("trial %d read %d: commit returned more bytes (%d) than strong (%d)",
+					trial, i, len(commit[i]), len(strong[i]))
+			}
+			if len(session[i]) > len(commit[i]) {
+				t.Fatalf("trial %d read %d: session returned more bytes (%d) than commit (%d)",
+					trial, i, len(session[i]), len(commit[i]))
+			}
+		}
+	}
+}
+
+// TestPropertyFullDisciplineEqualizesModels: when every write batch is
+// followed by fsync + close and the reader reopens before reading (the
+// strictest portable discipline), all three models return identical data.
+func TestPropertyFullDisciplineEqualizesModels(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	for trial := 0; trial < 100; trial++ {
+		var ops []schedOp
+		for i := 0; i < 5+rng.Intn(8); i++ {
+			off := int64(rng.Intn(100))
+			data := bytes.Repeat([]byte{byte(rng.Intn(256))}, rng.Intn(30)+1)
+			ops = append(ops,
+				schedOp{kind: "write", off: off, data: data},
+				schedOp{kind: "fsync"},
+				schedOp{kind: "close-open"},
+				schedOp{kind: "read", off: off},
+			)
+		}
+		strong := runSchedule(Strong, ops)
+		commit := runSchedule(Commit, ops)
+		session := runSchedule(Session, ops)
+		for i := range strong {
+			if !bytes.Equal(strong[i], commit[i]) || !bytes.Equal(strong[i], session[i]) {
+				t.Fatalf("trial %d read %d: models disagree under full discipline:\n strong %v\n commit %v\n session %v",
+					trial, i, strong[i], commit[i], session[i])
+			}
+		}
+	}
+}

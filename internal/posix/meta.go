@@ -1,0 +1,200 @@
+package posix
+
+import (
+	"repro/internal/pfs"
+	"repro/internal/recorder"
+)
+
+// This file implements the POSIX metadata and utility operations the paper
+// monitors (Section 6.4, footnote 3). Operations that contact the metadata
+// server go through the pfs; purely process-local ones (getcwd, umask, dup,
+// fcntl, ...) only cost local time. All emit POSIX-layer records so the
+// metadata census (Figure 3) sees them.
+
+// Stat queries file metadata by path.
+func (p *Proc) Stat(pth string) (pfs.FileInfo, error) {
+	return p.statAs(recorder.FuncStat, pth)
+}
+
+// Lstat behaves as Stat (the simulated FS has no symlinks to follow).
+func (p *Proc) Lstat(pth string) (pfs.FileInfo, error) {
+	return p.statAs(recorder.FuncLstat, pth)
+}
+
+func (p *Proc) statAs(fn recorder.Func, pth string) (pfs.FileInfo, error) {
+	ts := p.clock.Stamp()
+	apth := p.abs(pth)
+	info, cost, err := p.client.FS().Stat(apth)
+	p.advance(cost + p.cost.MetaCost)
+	p.emit(fn, ts, apth, "")
+	return info, err
+}
+
+// Fstat queries metadata through a descriptor.
+func (p *Proc) Fstat(fdnum int) (pfs.FileInfo, error) {
+	ts := p.clock.Stamp()
+	f, err := p.get(fdnum)
+	if err != nil {
+		p.emit(recorder.FuncFstat, ts, "", "", int64(fdnum))
+		return pfs.FileInfo{}, err
+	}
+	info, cost, serr := p.client.FS().Stat(f.path)
+	p.advance(cost + p.cost.MetaCost)
+	p.emit(recorder.FuncFstat, ts, "", "", int64(fdnum))
+	return info, serr
+}
+
+// Access checks whether a path exists (mode bits are not modeled).
+func (p *Proc) Access(pth string) error {
+	ts := p.clock.Stamp()
+	apth := p.abs(pth)
+	_, cost, err := p.client.FS().Stat(apth)
+	p.advance(cost + p.cost.MetaCost)
+	p.emit(recorder.FuncAccess, ts, apth, "")
+	return err
+}
+
+// Unlink removes a file.
+func (p *Proc) Unlink(pth string) error {
+	ts := p.clock.Stamp()
+	apth := p.abs(pth)
+	cost, err := p.client.FS().Unlink(apth)
+	p.advance(cost + p.cost.MetaCost)
+	p.emit(recorder.FuncUnlink, ts, apth, "")
+	return err
+}
+
+// Remove is the stdio remove(); same effect as Unlink, distinct record.
+func (p *Proc) Remove(pth string) error {
+	ts := p.clock.Stamp()
+	apth := p.abs(pth)
+	cost, err := p.client.FS().Unlink(apth)
+	p.advance(cost + p.cost.MetaCost)
+	p.emit(recorder.FuncRemove, ts, apth, "")
+	return err
+}
+
+// Mkdir creates a directory.
+func (p *Proc) Mkdir(pth string, mode int64) error {
+	ts := p.clock.Stamp()
+	apth := p.abs(pth)
+	cost, err := p.client.FS().Mkdir(apth)
+	p.advance(cost + p.cost.MetaCost)
+	p.emit(recorder.FuncMkdir, ts, apth, "", mode)
+	return err
+}
+
+// Rename moves a file.
+func (p *Proc) Rename(oldPth, newPth string) error {
+	ts := p.clock.Stamp()
+	ao, an := p.abs(oldPth), p.abs(newPth)
+	cost, err := p.client.FS().Rename(ao, an)
+	p.advance(cost + p.cost.MetaCost)
+	p.emit(recorder.FuncRename, ts, ao, an)
+	return err
+}
+
+// Truncate sets a file's length by path.
+func (p *Proc) Truncate(pth string, length int64) error {
+	ts := p.clock.Stamp()
+	apth := p.abs(pth)
+	// Path truncate: open-truncate-close on the metadata path.
+	h, cost, err := p.client.Open(apth, recorder.OWronly, p.clock.Now())
+	p.advance(cost)
+	if err == nil {
+		var tcost uint64
+		tcost, err = h.Truncate(length)
+		p.advance(tcost)
+		ccost, _ := h.Close(p.clock.Now())
+		p.advance(ccost)
+	}
+	p.emit(recorder.FuncTruncate, ts, apth, "", length)
+	return err
+}
+
+// Getcwd reports the working directory.
+func (p *Proc) Getcwd() string {
+	ts := p.clock.Stamp()
+	p.advance(p.cost.MetaCost / 4)
+	p.emit(recorder.FuncGetcwd, ts, p.cwd, "")
+	return p.cwd
+}
+
+// Chdir changes the working directory.
+func (p *Proc) Chdir(pth string) error {
+	ts := p.clock.Stamp()
+	apth := p.abs(pth)
+	p.advance(p.cost.MetaCost / 4)
+	p.cwd = apth
+	p.emit(recorder.FuncChdir, ts, apth, "")
+	return nil
+}
+
+// Umask sets the file-creation mask and returns the previous value.
+func (p *Proc) Umask(mask int64) int64 {
+	ts := p.clock.Stamp()
+	old := p.umask
+	p.umask = mask
+	p.emit(recorder.FuncUmask, ts, "", "", mask, old)
+	return old
+}
+
+// Fcntl issues a descriptor control operation (modeled as a no-op).
+func (p *Proc) Fcntl(fdnum int, cmd int64) error {
+	ts := p.clock.Stamp()
+	_, err := p.get(fdnum)
+	p.emit(recorder.FuncFcntl, ts, "", "", int64(fdnum), cmd)
+	return err
+}
+
+// Dup duplicates a descriptor. The duplicate shares the pfs handle and the
+// offset state (as on a real system, where both number the same open file
+// description; our model copies the offset and keeps them loosely coupled,
+// which suffices for the traced applications).
+func (p *Proc) Dup(fdnum int) (int, error) {
+	ts := p.clock.Stamp()
+	f, err := p.get(fdnum)
+	if err != nil {
+		p.emit(recorder.FuncDup, ts, "", "", int64(fdnum), -1)
+		return -1, err
+	}
+	n := &fd{num: p.nextFD, h: f.h, path: f.path, offset: f.offset, appendMd: f.appendMd}
+	p.nextFD++
+	p.fds[n.num] = n
+	p.emit(recorder.FuncDup, ts, "", "", int64(fdnum), int64(n.num))
+	return n.num, nil
+}
+
+// Opendir begins a directory listing (the listing itself is not modeled;
+// the calls exist for the metadata census).
+func (p *Proc) Opendir(pth string) error {
+	ts := p.clock.Stamp()
+	apth := p.abs(pth)
+	p.advance(p.cost.MetaCost)
+	p.emit(recorder.FuncOpendir, ts, apth, "")
+	return nil
+}
+
+// Readdir reads one directory entry.
+func (p *Proc) Readdir(pth string) {
+	ts := p.clock.Stamp()
+	p.advance(p.cost.MetaCost / 2)
+	p.emit(recorder.FuncReaddir, ts, p.abs(pth), "")
+}
+
+// Closedir ends a directory listing.
+func (p *Proc) Closedir(pth string) {
+	ts := p.clock.Stamp()
+	p.advance(p.cost.MetaCost / 2)
+	p.emit(recorder.FuncClosedir, ts, p.abs(pth), "")
+}
+
+// Mmap records a memory-map of a descriptor (data access through the map is
+// not modeled; LBANN-style apps use it for read-only loads).
+func (p *Proc) Mmap(fdnum int, length int64) error {
+	ts := p.clock.Stamp()
+	_, err := p.get(fdnum)
+	p.advance(p.cost.MetaCost)
+	p.emit(recorder.FuncMmap, ts, "", "", int64(fdnum), length)
+	return err
+}

@@ -1,0 +1,126 @@
+package posix
+
+import (
+	"fmt"
+
+	"repro/internal/recorder"
+)
+
+// Fopen opens a stream with a C fopen mode string ("r", "w", "a", "r+",
+// "w+", "a+", optionally with a trailing "b" which is ignored). The stream
+// shares the descriptor table with open(); the returned value is a
+// descriptor usable with the F* calls.
+func (p *Proc) Fopen(pth, mode string) (int, error) {
+	flags, err := fopenFlags(mode)
+	if err != nil {
+		return -1, err
+	}
+	return p.openAs(recorder.FuncFopen, pth, flags, 0, true)
+}
+
+func fopenFlags(mode string) (int, error) {
+	if len(mode) > 1 && (mode[len(mode)-1] == 'b') {
+		mode = mode[:len(mode)-1]
+	}
+	switch mode {
+	case "r":
+		return recorder.ORdonly, nil
+	case "r+":
+		return recorder.ORdwr, nil
+	case "w":
+		return recorder.OWronly | recorder.OCreat | recorder.OTrunc, nil
+	case "w+":
+		return recorder.ORdwr | recorder.OCreat | recorder.OTrunc, nil
+	case "a":
+		return recorder.OWronly | recorder.OCreat | recorder.OAppend, nil
+	case "a+":
+		return recorder.ORdwr | recorder.OCreat | recorder.OAppend, nil
+	}
+	return 0, fmt.Errorf("posix: bad fopen mode %q", mode)
+}
+
+// Fwrite writes len(data) bytes as nmemb items of the given size at the
+// stream position. len(data) must equal size*nmemb.
+func (p *Proc) Fwrite(fdnum int, data []byte, size, nmemb int64) (int64, error) {
+	ts := p.clock.Stamp()
+	if size*nmemb != int64(len(data)) {
+		p.emit(recorder.FuncFwrite, ts, "", "", int64(fdnum), size, nmemb, -1)
+		return -1, fmt.Errorf("posix: fwrite size %d*%d != %d bytes", size, nmemb, len(data))
+	}
+	f, err := p.get(fdnum)
+	if err != nil {
+		p.emit(recorder.FuncFwrite, ts, "", "", int64(fdnum), size, nmemb, -1)
+		return -1, err
+	}
+	if f.appendMd {
+		f.offset = f.h.VisibleSize(p.clock.Now())
+	}
+	cost, werr := f.h.Write(f.offset, data, p.clock.Now())
+	p.advance(cost)
+	if werr != nil {
+		p.emit(recorder.FuncFwrite, ts, "", "", int64(fdnum), size, nmemb, -1)
+		return -1, werr
+	}
+	f.offset += int64(len(data))
+	p.emit(recorder.FuncFwrite, ts, "", "", int64(fdnum), size, nmemb, int64(len(data)))
+	return nmemb, nil
+}
+
+// Fread reads up to size*nmemb bytes at the stream position.
+func (p *Proc) Fread(fdnum int, size, nmemb int64) ([]byte, error) {
+	ts := p.clock.Stamp()
+	f, err := p.get(fdnum)
+	if err != nil {
+		p.emit(recorder.FuncFread, ts, "", "", int64(fdnum), size, nmemb, -1)
+		return nil, err
+	}
+	data, cost, rerr := f.h.Read(f.offset, size*nmemb, p.clock.Now())
+	p.advance(cost)
+	if rerr != nil {
+		p.emit(recorder.FuncFread, ts, "", "", int64(fdnum), size, nmemb, -1)
+		return nil, rerr
+	}
+	f.offset += int64(len(data))
+	p.emit(recorder.FuncFread, ts, "", "", int64(fdnum), size, nmemb, int64(len(data)))
+	return data, nil
+}
+
+// Fseek repositions the stream (same semantics as lseek, distinct record).
+func (p *Proc) Fseek(fdnum int, off int64, whence int) (int64, error) {
+	return p.seekAs(recorder.FuncFseek, fdnum, off, whence)
+}
+
+// Ftell reports the stream position.
+func (p *Proc) Ftell(fdnum int) (int64, error) {
+	ts := p.clock.Stamp()
+	f, err := p.get(fdnum)
+	if err != nil {
+		p.emit(recorder.FuncFtell, ts, "", "", int64(fdnum), -1)
+		return -1, err
+	}
+	p.emit(recorder.FuncFtell, ts, "", "", int64(fdnum), f.offset)
+	return f.offset, nil
+}
+
+// Fflush flushes the stream; like fsync it acts as a commit operation
+// (paper §6.3 footnote 2).
+func (p *Proc) Fflush(fdnum int) error { return p.syncAs(recorder.FuncFflush, fdnum) }
+
+// Fclose closes the stream (a commit/close for visibility purposes).
+func (p *Proc) Fclose(fdnum int) error { return p.closeAs(recorder.FuncFclose, fdnum) }
+
+// Fileno returns the descriptor behind a stream, emitting the utility-op
+// record the paper counts in Figure 3.
+func (p *Proc) Fileno(fdnum int) (int, error) {
+	ts := p.clock.Stamp()
+	_, err := p.get(fdnum)
+	ret := int64(fdnum)
+	if err != nil {
+		ret = -1
+	}
+	p.emit(recorder.FuncFileno, ts, "", "", int64(fdnum), ret)
+	if err != nil {
+		return -1, err
+	}
+	return fdnum, nil
+}

@@ -1,0 +1,275 @@
+package recorder
+
+import (
+	"bufio"
+	"encoding/binary"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+)
+
+// Binary trace format, one stream per rank:
+//
+//	magic "SEMFSTR1" (8 bytes)
+//	rank (uvarint)
+//	count (uvarint)
+//	count records, each:
+//	  layer (1 byte), func (uvarint)
+//	  tstart (uvarint), tend delta from tstart (uvarint)
+//	  path ref, path2 ref (see below)
+//	  nargs (uvarint), args (varint each)
+//
+// Path references use a per-stream string table built on the fly: 0 means
+// "no path", 1 means "new string follows (uvarint len + bytes)" and is
+// assigned the next table index, and k >= 2 means table entry k-2.
+const traceMagic = "SEMFSTR1"
+
+// EncodeRankStream writes one rank's records to w.
+func EncodeRankStream(w io.Writer, rank int, records []Record) error {
+	bw := bufio.NewWriter(w)
+	if _, err := bw.WriteString(traceMagic); err != nil {
+		return err
+	}
+	var buf [binary.MaxVarintLen64]byte
+	writeUvarint := func(v uint64) error {
+		n := binary.PutUvarint(buf[:], v)
+		_, err := bw.Write(buf[:n])
+		return err
+	}
+	writeVarint := func(v int64) error {
+		n := binary.PutVarint(buf[:], v)
+		_, err := bw.Write(buf[:n])
+		return err
+	}
+	strTable := make(map[string]uint64)
+	writeStr := func(s string) error {
+		if s == "" {
+			return writeUvarint(0)
+		}
+		if idx, ok := strTable[s]; ok {
+			return writeUvarint(idx + 2)
+		}
+		strTable[s] = uint64(len(strTable))
+		if err := writeUvarint(1); err != nil {
+			return err
+		}
+		if err := writeUvarint(uint64(len(s))); err != nil {
+			return err
+		}
+		_, err := bw.WriteString(s)
+		return err
+	}
+
+	if err := writeUvarint(uint64(rank)); err != nil {
+		return err
+	}
+	if err := writeUvarint(uint64(len(records))); err != nil {
+		return err
+	}
+	for i := range records {
+		r := &records[i]
+		if err := bw.WriteByte(byte(r.Layer)); err != nil {
+			return err
+		}
+		if err := writeUvarint(uint64(r.Func)); err != nil {
+			return err
+		}
+		if err := writeUvarint(r.TStart); err != nil {
+			return err
+		}
+		if r.TEnd < r.TStart {
+			return fmt.Errorf("recorder: record %d has TEnd < TStart", i)
+		}
+		if err := writeUvarint(r.TEnd - r.TStart); err != nil {
+			return err
+		}
+		if err := writeStr(r.Path); err != nil {
+			return err
+		}
+		if err := writeStr(r.Path2); err != nil {
+			return err
+		}
+		if err := writeUvarint(uint64(len(r.Args))); err != nil {
+			return err
+		}
+		for _, a := range r.Args {
+			if err := writeVarint(a); err != nil {
+				return err
+			}
+		}
+	}
+	return bw.Flush()
+}
+
+// DecodeRankStream reads one rank's records from r.
+func DecodeRankStream(r io.Reader) (rank int, records []Record, err error) {
+	br := bufio.NewReader(r)
+	magic := make([]byte, len(traceMagic))
+	if _, err = io.ReadFull(br, magic); err != nil {
+		return 0, nil, fmt.Errorf("recorder: reading magic: %w", err)
+	}
+	if string(magic) != traceMagic {
+		return 0, nil, fmt.Errorf("recorder: bad magic %q", magic)
+	}
+	var strTable []string
+	readStr := func() (string, error) {
+		tag, err := binary.ReadUvarint(br)
+		if err != nil {
+			return "", err
+		}
+		switch {
+		case tag == 0:
+			return "", nil
+		case tag == 1:
+			n, err := binary.ReadUvarint(br)
+			if err != nil {
+				return "", err
+			}
+			if n > 1<<20 {
+				return "", fmt.Errorf("recorder: string length %d too large", n)
+			}
+			b := make([]byte, n)
+			if _, err := io.ReadFull(br, b); err != nil {
+				return "", err
+			}
+			strTable = append(strTable, string(b))
+			return string(b), nil
+		default:
+			idx := tag - 2
+			if idx >= uint64(len(strTable)) {
+				return "", fmt.Errorf("recorder: string ref %d out of table (%d entries)", idx, len(strTable))
+			}
+			return strTable[idx], nil
+		}
+	}
+
+	urank, err := binary.ReadUvarint(br)
+	if err != nil {
+		return 0, nil, err
+	}
+	count, err := binary.ReadUvarint(br)
+	if err != nil {
+		return 0, nil, err
+	}
+	if count > 1<<30 {
+		return 0, nil, fmt.Errorf("recorder: record count %d too large", count)
+	}
+	records = make([]Record, 0, count)
+	for i := uint64(0); i < count; i++ {
+		var rec Record
+		rec.Rank = int32(urank)
+		layer, err := br.ReadByte()
+		if err != nil {
+			return 0, nil, err
+		}
+		rec.Layer = Layer(layer)
+		fn, err := binary.ReadUvarint(br)
+		if err != nil {
+			return 0, nil, err
+		}
+		rec.Func = Func(fn)
+		if rec.TStart, err = binary.ReadUvarint(br); err != nil {
+			return 0, nil, err
+		}
+		dur, err := binary.ReadUvarint(br)
+		if err != nil {
+			return 0, nil, err
+		}
+		rec.TEnd = rec.TStart + dur
+		if rec.Path, err = readStr(); err != nil {
+			return 0, nil, err
+		}
+		if rec.Path2, err = readStr(); err != nil {
+			return 0, nil, err
+		}
+		nargs, err := binary.ReadUvarint(br)
+		if err != nil {
+			return 0, nil, err
+		}
+		if nargs > 64 {
+			return 0, nil, fmt.Errorf("recorder: %d args too many", nargs)
+		}
+		if nargs > 0 {
+			rec.Args = make([]int64, nargs)
+			for j := range rec.Args {
+				if rec.Args[j], err = binary.ReadVarint(br); err != nil {
+					return 0, nil, err
+				}
+			}
+		}
+		records = append(records, rec)
+	}
+	return int(urank), records, nil
+}
+
+// SaveDir persists a trace as a directory: "trace.meta" (JSON) plus one
+// "rank_NNNNN.rec" binary stream per rank — the same on-disk shape a
+// per-process tracer produces on a real system.
+func SaveDir(dir string, tr *Trace) error {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return err
+	}
+	metaBytes, err := json.MarshalIndent(tr.Meta, "", "  ")
+	if err != nil {
+		return err
+	}
+	if err := os.WriteFile(filepath.Join(dir, "trace.meta"), metaBytes, 0o644); err != nil {
+		return err
+	}
+	for rank, rs := range tr.PerRank {
+		f, err := os.Create(filepath.Join(dir, rankFileName(rank)))
+		if err != nil {
+			return err
+		}
+		err = EncodeRankStream(f, rank, rs)
+		if cerr := f.Close(); err == nil {
+			err = cerr
+		}
+		if err != nil {
+			return fmt.Errorf("recorder: writing rank %d: %w", rank, err)
+		}
+	}
+	return nil
+}
+
+// LoadDir loads a trace previously written by SaveDir.
+func LoadDir(dir string) (*Trace, error) {
+	metaBytes, err := os.ReadFile(filepath.Join(dir, "trace.meta"))
+	if err != nil {
+		return nil, err
+	}
+	var meta Meta
+	if err := json.Unmarshal(metaBytes, &meta); err != nil {
+		return nil, fmt.Errorf("recorder: parsing trace.meta: %w", err)
+	}
+	if meta.Ranks <= 0 {
+		return nil, errors.New("recorder: trace.meta has no ranks")
+	}
+	tr := &Trace{Meta: meta, PerRank: make([][]Record, meta.Ranks)}
+	for rank := 0; rank < meta.Ranks; rank++ {
+		f, err := os.Open(filepath.Join(dir, rankFileName(rank)))
+		if err != nil {
+			return nil, err
+		}
+		gotRank, rs, derr := DecodeRankStream(f)
+		cerr := f.Close()
+		if derr != nil {
+			return nil, fmt.Errorf("recorder: reading rank %d: %w", rank, derr)
+		}
+		if cerr != nil {
+			return nil, cerr
+		}
+		if gotRank != rank {
+			return nil, fmt.Errorf("recorder: file %s holds rank %d", rankFileName(rank), gotRank)
+		}
+		tr.PerRank[rank] = rs
+	}
+	return tr, nil
+}
+
+func rankFileName(rank int) string {
+	return fmt.Sprintf("rank_%05d.rec", rank)
+}

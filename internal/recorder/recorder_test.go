@@ -1,0 +1,331 @@
+package recorder
+
+import (
+	"bytes"
+	"math/rand"
+	"path/filepath"
+	"reflect"
+	"testing"
+	"testing/quick"
+)
+
+func mkRecord(rank int, layer Layer, fn Func, ts, te uint64, path string, args ...int64) Record {
+	return Record{Rank: int32(rank), Layer: layer, Func: fn, TStart: ts, TEnd: te, Path: path, Args: args}
+}
+
+func TestFuncNames(t *testing.T) {
+	cases := map[Func]string{
+		FuncPwrite:            "pwrite",
+		FuncH5Fflush:          "H5Fflush",
+		FuncMPIFileWriteAtAll: "MPI_File_write_at_all",
+		FuncGetcwd:            "getcwd",
+		FuncNCPutVara:         "nc_put_vara",
+	}
+	for f, want := range cases {
+		if got := f.String(); got != want {
+			t.Errorf("%d.String() = %q, want %q", f, got, want)
+		}
+		if got := FuncByName(want); got != f {
+			t.Errorf("FuncByName(%q) = %v, want %v", want, got, f)
+		}
+	}
+	if FuncByName("no_such_fn") != FuncUnknown {
+		t.Error("FuncByName of unknown name should be FuncUnknown")
+	}
+	// Every defined func has a name.
+	for f := Func(1); f < Func(NumFuncs()); f++ {
+		if !f.Valid() {
+			t.Errorf("func %d not valid", f)
+		}
+		if f.String() == "" || f.String()[0] == 'f' && f.String() == "func#"+itoa(int(f)) {
+			t.Errorf("func %d has no name", f)
+		}
+	}
+}
+
+func TestRecordPredicates(t *testing.T) {
+	w := mkRecord(0, LayerPOSIX, FuncPwrite, 0, 1, "/f", 3, 100, 0, 100)
+	if !w.IsDataOp() || !w.IsWriteOp() {
+		t.Error("pwrite should be a data write op")
+	}
+	r := mkRecord(0, LayerPOSIX, FuncRead, 0, 1, "/f", 3, 100, 100)
+	if !r.IsDataOp() || r.IsWriteOp() {
+		t.Error("read should be data op, not write")
+	}
+	for _, fn := range []Func{FuncFsync, FuncFdatasync, FuncFflush, FuncClose, FuncFclose} {
+		c := mkRecord(0, LayerPOSIX, fn, 0, 1, "", 3)
+		if !c.IsCommitOp() {
+			t.Errorf("%v should be a commit op", fn)
+		}
+	}
+	wr := mkRecord(0, LayerPOSIX, FuncWrite, 0, 1, "/f")
+	if wr.IsCommitOp() {
+		t.Error("write is not a commit op")
+	}
+	// Layer gating: an HDF5-layer "write" is not a POSIX data op.
+	h := mkRecord(0, LayerHDF5, FuncH5Dwrite, 0, 1, "/f.h5")
+	if h.IsDataOp() {
+		t.Error("HDF5-layer record must not be a POSIX data op")
+	}
+	m := mkRecord(0, LayerPOSIX, FuncGetcwd, 0, 1, "")
+	if !m.IsMetadataOp() {
+		t.Error("getcwd should be a metadata op")
+	}
+	op := mkRecord(0, LayerPOSIX, FuncOpen, 0, 1, "/f", ORdonly, 0, 3)
+	if !op.IsOpenOp() {
+		t.Error("open should be an open op")
+	}
+	cl := mkRecord(0, LayerPOSIX, FuncFclose, 0, 1, "", 3)
+	if !cl.IsCloseOp() {
+		t.Error("fclose should be a close op")
+	}
+}
+
+func TestRecordArgAccessor(t *testing.T) {
+	r := mkRecord(0, LayerPOSIX, FuncPwrite, 0, 1, "/f", 3, 100)
+	if r.Arg(0) != 3 || r.Arg(1) != 100 {
+		t.Error("Arg returned wrong values")
+	}
+	if r.Arg(5) != 0 || r.Arg(-1) != 0 {
+		t.Error("out-of-range Arg should be 0")
+	}
+}
+
+func TestStreamRoundTrip(t *testing.T) {
+	recs := []Record{
+		mkRecord(3, LayerPOSIX, FuncOpen, 100, 120, "/data/ckpt.h5", OCreat|OWronly, 0o644, 7),
+		mkRecord(3, LayerPOSIX, FuncPwrite, 130, 150, "/data/ckpt.h5", 7, 4096, 0, 4096),
+		mkRecord(3, LayerHDF5, FuncH5Fflush, 160, 200, "/data/ckpt.h5"),
+		mkRecord(3, LayerPOSIX, FuncClose, 210, 215, "", 7),
+		mkRecord(3, LayerMPI, FuncMPIBarrier, 220, 230, "", -1, 0, 4),
+	}
+	var buf bytes.Buffer
+	if err := EncodeRankStream(&buf, 3, recs); err != nil {
+		t.Fatal(err)
+	}
+	rank, got, err := DecodeRankStream(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rank != 3 {
+		t.Fatalf("decoded rank %d, want 3", rank)
+	}
+	if !reflect.DeepEqual(normalize(recs), normalize(got)) {
+		t.Fatalf("round trip mismatch:\n in: %v\nout: %v", recs, got)
+	}
+}
+
+// normalize maps empty arg slices to nil for DeepEqual.
+func normalize(rs []Record) []Record {
+	out := make([]Record, len(rs))
+	copy(out, rs)
+	for i := range out {
+		if len(out[i].Args) == 0 {
+			out[i].Args = nil
+		}
+	}
+	return out
+}
+
+func TestStreamRoundTripProperty(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	paths := []string{"", "/a", "/data/x.h5", "/scratch/run/out.nc"}
+	gen := func() []Record {
+		n := rng.Intn(50)
+		recs := make([]Record, n)
+		var tprev uint64
+		for i := range recs {
+			tprev += uint64(rng.Intn(1000))
+			recs[i] = Record{
+				Rank:   9,
+				Layer:  Layer(rng.Intn(NumLayers())),
+				Func:   Func(1 + rng.Intn(NumFuncs()-1)),
+				TStart: tprev,
+				TEnd:   tprev + uint64(rng.Intn(100)),
+				Path:   paths[rng.Intn(len(paths))],
+				Path2:  paths[rng.Intn(len(paths))],
+			}
+			na := rng.Intn(5)
+			for j := 0; j < na; j++ {
+				recs[i].Args = append(recs[i].Args, rng.Int63n(1<<40)-1<<39)
+			}
+		}
+		return recs
+	}
+	for trial := 0; trial < 50; trial++ {
+		recs := gen()
+		var buf bytes.Buffer
+		if err := EncodeRankStream(&buf, 9, recs); err != nil {
+			t.Fatal(err)
+		}
+		_, got, err := DecodeRankStream(&buf)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(normalize(recs), normalize(got)) {
+			t.Fatalf("trial %d: round trip mismatch (n=%d)", trial, len(recs))
+		}
+	}
+}
+
+func TestDecodeRejectsBadMagic(t *testing.T) {
+	if _, _, err := DecodeRankStream(bytes.NewBufferString("NOTATRACE....")); err == nil {
+		t.Fatal("expected error for bad magic")
+	}
+}
+
+func TestEncodeRejectsBackwardsTime(t *testing.T) {
+	var buf bytes.Buffer
+	err := EncodeRankStream(&buf, 0, []Record{{Rank: 0, Func: FuncRead, TStart: 10, TEnd: 5}})
+	if err == nil {
+		t.Fatal("expected error for TEnd < TStart")
+	}
+}
+
+func TestSaveLoadDir(t *testing.T) {
+	dir := filepath.Join(t.TempDir(), "trace")
+	tr := &Trace{
+		Meta: Meta{App: "FLASH", Library: "HDF5", Variant: "fbs", Ranks: 2, PPN: 2, Steps: 10, Seed: 42},
+		PerRank: [][]Record{
+			{mkRecord(0, LayerMPI, FuncMPIBarrier, 5, 10, ""), mkRecord(0, LayerPOSIX, FuncOpen, 12, 20, "/f", ORdonly, 0, 3)},
+			{mkRecord(1, LayerMPI, FuncMPIBarrier, 6, 10, ""), mkRecord(1, LayerPOSIX, FuncRead, 15, 25, "/f", 3, 64, 64)},
+		},
+	}
+	if err := SaveDir(dir, tr); err != nil {
+		t.Fatal(err)
+	}
+	got, err := LoadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Meta != tr.Meta {
+		t.Fatalf("meta mismatch: %+v vs %+v", got.Meta, tr.Meta)
+	}
+	if got.NumRecords() != tr.NumRecords() {
+		t.Fatalf("record count %d, want %d", got.NumRecords(), tr.NumRecords())
+	}
+	if !reflect.DeepEqual(normalize(got.PerRank[1]), normalize(tr.PerRank[1])) {
+		t.Fatal("rank 1 records mismatch after round trip")
+	}
+}
+
+func TestAlign(t *testing.T) {
+	// Rank 0 has skew +100 (all stamps shifted up), rank 1 has no skew.
+	tr := &Trace{
+		Meta: Meta{App: "X", Ranks: 2},
+		PerRank: [][]Record{
+			{mkRecord(0, LayerMPI, FuncMPIBarrier, 100, 150, ""), mkRecord(0, LayerPOSIX, FuncWrite, 200, 250, "/f", 3, 10, 10)},
+			{mkRecord(1, LayerMPI, FuncMPIBarrier, 0, 50, ""), mkRecord(1, LayerPOSIX, FuncRead, 300, 350, "/f", 3, 10, 10)},
+		},
+	}
+	if err := tr.Align(); err != nil {
+		t.Fatal(err)
+	}
+	if tr.PerRank[0][0].TEnd != 0 || tr.PerRank[1][0].TEnd != 0 {
+		t.Fatal("barrier exit should be time zero after alignment")
+	}
+	if got := tr.PerRank[0][1].TStart; got != 50 {
+		t.Fatalf("rank 0 write TStart = %d, want 50", got)
+	}
+	if got := tr.PerRank[1][1].TStart; got != 250 {
+		t.Fatalf("rank 1 read TStart = %d, want 250", got)
+	}
+	if !tr.Meta.Aligned {
+		t.Fatal("Aligned flag not set")
+	}
+	// Idempotent.
+	if err := tr.Align(); err != nil {
+		t.Fatal(err)
+	}
+	if got := tr.PerRank[0][1].TStart; got != 50 {
+		t.Fatalf("second Align changed stamps: %d", got)
+	}
+}
+
+func TestAlignErrorsWithoutBarrier(t *testing.T) {
+	tr := &Trace{Meta: Meta{Ranks: 1}, PerRank: [][]Record{
+		{mkRecord(0, LayerPOSIX, FuncRead, 1, 2, "/f")},
+	}}
+	if err := tr.Align(); err == nil {
+		t.Fatal("expected error when no barrier record exists")
+	}
+}
+
+func TestTraceValidate(t *testing.T) {
+	good := &Trace{Meta: Meta{Ranks: 1}, PerRank: [][]Record{
+		{mkRecord(0, LayerPOSIX, FuncOpen, 1, 2, "/f"), mkRecord(0, LayerPOSIX, FuncClose, 3, 4, "")},
+	}}
+	if err := good.Validate(); err != nil {
+		t.Fatalf("valid trace rejected: %v", err)
+	}
+	bad := &Trace{Meta: Meta{Ranks: 1}, PerRank: [][]Record{
+		{mkRecord(0, LayerPOSIX, FuncClose, 5, 6, ""), mkRecord(0, LayerPOSIX, FuncOpen, 1, 2, "/f")},
+	}}
+	if err := bad.Validate(); err == nil {
+		t.Fatal("out-of-order trace accepted")
+	}
+	wrongRank := &Trace{Meta: Meta{Ranks: 1}, PerRank: [][]Record{
+		{mkRecord(2, LayerPOSIX, FuncOpen, 1, 2, "/f")},
+	}}
+	if err := wrongRank.Validate(); err == nil {
+		t.Fatal("wrong-rank record accepted")
+	}
+}
+
+func TestAllByTimeMergesSorted(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		tr := &Trace{Meta: Meta{Ranks: 3}, PerRank: make([][]Record, 3)}
+		for rank := 0; rank < 3; rank++ {
+			var ts uint64
+			for i := 0; i < rng.Intn(20); i++ {
+				ts += uint64(rng.Intn(100))
+				tr.PerRank[rank] = append(tr.PerRank[rank],
+					mkRecord(rank, LayerPOSIX, FuncWrite, ts, ts+1, "/f"))
+			}
+		}
+		all := tr.AllByTime()
+		if len(all) != tr.NumRecords() {
+			return false
+		}
+		for i := 1; i < len(all); i++ {
+			if all[i].TStart < all[i-1].TStart {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMetaConfigName(t *testing.T) {
+	cases := []struct {
+		meta Meta
+		want string
+	}{
+		{Meta{App: "FLASH", Library: "HDF5", Variant: "fbs"}, "FLASH-fbs"},
+		{Meta{App: "LAMMPS", Library: "ADIOS"}, "LAMMPS-ADIOS"},
+		{Meta{App: "LAMMPS", Library: "POSIX"}, "LAMMPS-POSIX"},
+		{Meta{App: "GTC", Library: "POSIX"}, "GTC"},
+		{Meta{App: "QMCPACK", Library: "HDF5"}, "QMCPACK-HDF5"},
+		{Meta{App: "HACC-IO", Library: "MPI-IO"}, "HACC-IO-MPI-IO"},
+	}
+	for _, c := range cases {
+		if got := c.meta.ConfigName(); got != c.want {
+			t.Errorf("ConfigName(%+v) = %q, want %q", c.meta, got, c.want)
+		}
+	}
+}
+
+func TestRankTracer(t *testing.T) {
+	rt := NewRankTracer(5)
+	rt.Emit(Record{Rank: 99, Layer: LayerPOSIX, Func: FuncOpen, TStart: 1, TEnd: 2, Path: "/f"})
+	if rt.Len() != 1 {
+		t.Fatal("Emit did not append")
+	}
+	if rt.Records()[0].Rank != 5 {
+		t.Fatal("Emit must force the tracer's rank")
+	}
+}

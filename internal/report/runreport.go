@@ -1,0 +1,173 @@
+package report
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"repro/internal/core"
+	"repro/internal/pfs"
+	"repro/internal/recorder"
+)
+
+// RunReport is the per-application-run digest the paper's published
+// artifact ships alongside each trace: function counters, I/O sizes,
+// per-file access and conflict summaries.
+type RunReport struct {
+	Config  string
+	Ranks   int
+	Records int
+
+	// FuncCounts tallies every traced call by layer and function.
+	FuncCounts map[recorder.Layer]map[recorder.Func]int
+	// BytesRead/BytesWritten are POSIX-layer data totals.
+	BytesRead, BytesWritten int64
+	// SizeHistogram buckets POSIX data accesses by power-of-two size.
+	SizeHistogram map[int]int // bucket k covers [2^k, 2^(k+1))
+	Files         []FileReport
+}
+
+// FileReport summarizes one file.
+type FileReport struct {
+	Path             string
+	Reads, Writes    int
+	BytesRead        int64
+	BytesWritten     int64
+	Ranks            int
+	SessionConflicts int
+	CommitConflicts  int
+}
+
+// BuildRunReport computes the digest for a trace.
+func BuildRunReport(tr *recorder.Trace) *RunReport {
+	rep := &RunReport{
+		Config:        tr.Meta.ConfigName(),
+		Ranks:         tr.Meta.Ranks,
+		Records:       tr.NumRecords(),
+		FuncCounts:    make(map[recorder.Layer]map[recorder.Func]int),
+		SizeHistogram: make(map[int]int),
+	}
+	for _, rs := range tr.PerRank {
+		for i := range rs {
+			r := &rs[i]
+			m, ok := rep.FuncCounts[r.Layer]
+			if !ok {
+				m = make(map[recorder.Func]int)
+				rep.FuncCounts[r.Layer] = m
+			}
+			m[r.Func]++
+		}
+	}
+	fas := core.Extract(tr)
+	for _, fa := range fas {
+		fr := FileReport{Path: fa.Path}
+		ranks := map[int32]bool{}
+		for _, iv := range fa.Intervals {
+			n := iv.Oe - iv.Os
+			ranks[iv.Rank] = true
+			if iv.Write {
+				fr.Writes++
+				fr.BytesWritten += n
+				rep.BytesWritten += n
+			} else {
+				fr.Reads++
+				fr.BytesRead += n
+				rep.BytesRead += n
+			}
+			rep.SizeHistogram[bucketOf(n)]++
+		}
+		fr.Ranks = len(ranks)
+		fr.SessionConflicts = len(core.DetectConflicts(fa, pfs.Session))
+		fr.CommitConflicts = len(core.DetectConflicts(fa, pfs.Commit))
+		rep.Files = append(rep.Files, fr)
+	}
+	sort.Slice(rep.Files, func(i, j int) bool { return rep.Files[i].Path < rep.Files[j].Path })
+	return rep
+}
+
+func bucketOf(n int64) int {
+	b := 0
+	for n > 1 {
+		n >>= 1
+		b++
+	}
+	return b
+}
+
+// Render formats the report for terminals.
+func (r *RunReport) Render() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Run report: %s (%d ranks, %d trace records)\n\n", r.Config, r.Ranks, r.Records)
+	fmt.Fprintf(&b, "Data volume: %s written, %s read\n\n", human(r.BytesWritten), human(r.BytesRead))
+
+	b.WriteString("Function counters by layer:\n")
+	layers := make([]recorder.Layer, 0, len(r.FuncCounts))
+	for l := range r.FuncCounts {
+		layers = append(layers, l)
+	}
+	sort.Slice(layers, func(i, j int) bool { return layers[i] < layers[j] })
+	for _, l := range layers {
+		fns := make([]recorder.Func, 0, len(r.FuncCounts[l]))
+		for f := range r.FuncCounts[l] {
+			fns = append(fns, f)
+		}
+		sort.Slice(fns, func(i, j int) bool {
+			return r.FuncCounts[l][fns[i]] > r.FuncCounts[l][fns[j]]
+		})
+		fmt.Fprintf(&b, "  [%s]", l)
+		for _, f := range fns {
+			fmt.Fprintf(&b, " %s:%d", f, r.FuncCounts[l][f])
+		}
+		b.WriteString("\n")
+	}
+
+	b.WriteString("\nAccess-size histogram (POSIX data ops):\n")
+	buckets := make([]int, 0, len(r.SizeHistogram))
+	for k := range r.SizeHistogram {
+		buckets = append(buckets, k)
+	}
+	sort.Ints(buckets)
+	for _, k := range buckets {
+		fmt.Fprintf(&b, "  [%7s, %7s)  %d\n", human(1<<k), human(1<<(k+1)), r.SizeHistogram[k])
+	}
+
+	b.WriteString("\nPer-file summary (top 20 by traffic):\n")
+	files := append([]FileReport(nil), r.Files...)
+	sort.Slice(files, func(i, j int) bool {
+		return files[i].BytesWritten+files[i].BytesRead > files[j].BytesWritten+files[j].BytesRead
+	})
+	if len(files) > 20 {
+		files = files[:20]
+	}
+	fmt.Fprintf(&b, "  %-34s %6s %6s %9s %9s %5s %8s %8s\n",
+		"path", "reads", "writes", "rd bytes", "wr bytes", "ranks", "conf(se)", "conf(co)")
+	for _, f := range files {
+		fmt.Fprintf(&b, "  %-34s %6d %6d %9s %9s %5d %8d %8d\n",
+			trunc(f.Path, 34), f.Reads, f.Writes, human(f.BytesRead), human(f.BytesWritten),
+			f.Ranks, f.SessionConflicts, f.CommitConflicts)
+	}
+	if extra := len(r.Files) - len(files); extra > 0 {
+		fmt.Fprintf(&b, "  ... %d more files\n", extra)
+	}
+	return b.String()
+}
+
+func human(n int64) string {
+	switch {
+	case n >= 1<<30:
+		return fmt.Sprintf("%.1fGiB", float64(n)/(1<<30))
+	case n >= 1<<20:
+		return fmt.Sprintf("%.1fMiB", float64(n)/(1<<20))
+	case n >= 1<<10:
+		return fmt.Sprintf("%.1fKiB", float64(n)/(1<<10))
+	default:
+		return fmt.Sprintf("%dB", n)
+	}
+}
+
+func trunc(s string, n int) string {
+	if len(s) <= n {
+		return s
+	}
+	return "..." + s[len(s)-n+3:]
+}

@@ -1,0 +1,60 @@
+package report
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/apps"
+	"repro/internal/pfs"
+)
+
+func TestRunReport(t *testing.T) {
+	cfg, ok := apps.Lookup("NWChem")
+	if !ok {
+		t.Fatal("NWChem missing")
+	}
+	res, err := apps.Execute(cfg, apps.Options{Ranks: 8, PPN: 2, Semantics: pfs.Strong})
+	if err != nil || res.Err() != nil {
+		t.Fatal(err, res.Err())
+	}
+	rep := BuildRunReport(res.Trace)
+	if rep.Config != "NWChem" || rep.Ranks != 8 {
+		t.Fatalf("header wrong: %+v", rep)
+	}
+	if rep.BytesWritten == 0 || rep.Records == 0 {
+		t.Fatal("empty report")
+	}
+	var trj *FileReport
+	for i := range rep.Files {
+		if rep.Files[i].Path == "/md.trj" {
+			trj = &rep.Files[i]
+		}
+	}
+	if trj == nil {
+		t.Fatal("trajectory file missing from report")
+	}
+	if trj.SessionConflicts == 0 || trj.CommitConflicts == 0 {
+		t.Fatalf("trajectory conflicts not counted: %+v", trj)
+	}
+	if trj.Ranks != 1 {
+		t.Fatalf("trajectory written by %d ranks", trj.Ranks)
+	}
+	out := rep.Render()
+	for _, want := range []string{"Run report: NWChem", "Function counters", "histogram", "md.trj", "[POSIX]", "[MPI]"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("render missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestBucketsAndHuman(t *testing.T) {
+	if bucketOf(1) != 0 || bucketOf(2) != 1 || bucketOf(4096) != 12 || bucketOf(4097) != 12 {
+		t.Fatal("bucketOf wrong")
+	}
+	if human(512) != "512B" || human(2048) != "2.0KiB" || human(3<<20) != "3.0MiB" || human(2<<30) != "2.0GiB" {
+		t.Fatalf("human wrong: %s %s", human(2048), human(3<<20))
+	}
+	if trunc("abc", 5) != "abc" || trunc("abcdefghij", 6) != "...hij" {
+		t.Fatalf("trunc wrong: %q", trunc("abcdefghij", 6))
+	}
+}

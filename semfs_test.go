@@ -1,0 +1,150 @@
+package semfs
+
+import (
+	"path/filepath"
+	"testing"
+
+	"repro/internal/recorder"
+)
+
+func TestApplicationsList(t *testing.T) {
+	names := Applications()
+	if len(names) != 25 {
+		t.Fatalf("Applications() has %d entries, want 25", len(names))
+	}
+	desc, err := Describe("FLASH-fbs")
+	if err != nil || desc == "" {
+		t.Fatalf("Describe: %q, %v", desc, err)
+	}
+	if _, err := Describe("nope"); err == nil {
+		t.Fatal("Describe of unknown app should fail")
+	}
+}
+
+func TestRunAndAnalyzeEndToEnd(t *testing.T) {
+	res, err := Run("NWChem", RunOptions{Ranks: 8, PPN: 2, Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := res.Err(); err != nil {
+		t.Fatal(err)
+	}
+	an := Analyze(res.Trace)
+	if an.Verdict.Weakest != Session {
+		t.Fatalf("NWChem weakest = %v, want session", an.Verdict.Weakest)
+	}
+	if !an.Verdict.Session.WAWSame || !an.Verdict.Session.RAWSame {
+		t.Fatalf("NWChem session signature = %+v", an.Verdict.Session)
+	}
+	if len(an.Patterns) == 0 || an.Census.Total() == 0 {
+		t.Fatal("analysis incomplete")
+	}
+	if _, ok := an.SessionConflicts["/md.trj"]; !ok {
+		t.Fatalf("trajectory conflicts missing: %v", an.SessionConflicts)
+	}
+}
+
+func TestRunUnknownApp(t *testing.T) {
+	if _, err := Run("NoSuchApp", RunOptions{}); err == nil {
+		t.Fatal("unknown app accepted")
+	}
+}
+
+func TestTraceRoundTripThroughDisk(t *testing.T) {
+	res, err := Run("GTC", RunOptions{Ranks: 4, PPN: 2})
+	if err != nil || res.Err() != nil {
+		t.Fatal(err, res.Err())
+	}
+	dir := filepath.Join(t.TempDir(), "trace")
+	if err := SaveTrace(dir, res.Trace); err != nil {
+		t.Fatal(err)
+	}
+	got, err := LoadTrace(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.NumRecords() != res.Trace.NumRecords() {
+		t.Fatalf("records %d != %d after round trip", got.NumRecords(), res.Trace.NumRecords())
+	}
+	// The loaded trace analyzes identically.
+	a1, a2 := Analyze(res.Trace), Analyze(got)
+	if a1.Verdict != a2.Verdict {
+		t.Fatalf("verdicts differ after disk round trip: %+v vs %+v", a1.Verdict, a2.Verdict)
+	}
+}
+
+func TestValidateSynchronization(t *testing.T) {
+	res, err := Run("FLASH-nofbs", RunOptions{Ranks: 8, PPN: 2})
+	if err != nil || res.Err() != nil {
+		t.Fatal(err, res.Err())
+	}
+	unordered, err := ValidateSynchronization(res.Trace)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(unordered) != 0 {
+		t.Fatalf("FLASH conflicts not synchronized: %v", unordered[0])
+	}
+}
+
+func TestReportFacade(t *testing.T) {
+	res, err := Run("GAMESS", RunOptions{Ranks: 8, PPN: 2})
+	if err != nil || res.Err() != nil {
+		t.Fatal(err, res.Err())
+	}
+	rep := Report(res.Trace)
+	if rep.Config != "GAMESS" || rep.BytesWritten == 0 {
+		t.Fatalf("report = %+v", rep)
+	}
+	if out := rep.Render(); len(out) == 0 {
+		t.Fatal("empty render")
+	}
+}
+
+func TestAnalyzeMetadataDependencies(t *testing.T) {
+	res, err := Run("MACSio-Silo", RunOptions{Ranks: 8, PPN: 2})
+	if err != nil || res.Err() != nil {
+		t.Fatal(err, res.Err())
+	}
+	an := Analyze(res.Trace)
+	if !an.MetaSignature.CreateUse || len(an.MetaConflicts) == 0 {
+		t.Fatalf("MACSio metadata dependencies missing: %+v", an.MetaSignature)
+	}
+}
+
+func TestRunCustomBody(t *testing.T) {
+	res, err := RunCustom("demo", RunOptions{Ranks: 2}, func(ctx *Ctx) error {
+		fd, err := ctx.OS.Open("/x", recorder.OCreat|recorder.OWronly, 0o644)
+		if err != nil {
+			return err
+		}
+		if _, err := ctx.OS.Pwrite(fd, make([]byte, 16), int64(ctx.Rank)*16); err != nil {
+			return err
+		}
+		return ctx.OS.Close(fd)
+	})
+	if err != nil || res.Err() != nil {
+		t.Fatal(err, res.Err())
+	}
+	an := Analyze(res.Trace)
+	if an.Verdict.Session.Any() {
+		t.Fatalf("disjoint writes produced conflicts: %+v", an.Verdict.Session)
+	}
+}
+
+func TestVerifyOnSessionPFSDetectsFlash(t *testing.T) {
+	res, err := Run("FLASH-nofbs", RunOptions{Ranks: 8, PPN: 2, Semantics: Session, Verify: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Err() == nil {
+		t.Fatal("FLASH should corrupt on a session-semantics PFS")
+	}
+	res2, err := Run("FLASH-nofbs", RunOptions{Ranks: 8, PPN: 2, Semantics: Commit, Verify: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res2.Err() != nil {
+		t.Fatalf("FLASH should run clean on commit semantics: %v", res2.Err())
+	}
+}
