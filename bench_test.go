@@ -27,6 +27,7 @@ var (
 	benchOnce    sync.Once
 	benchResults *experiments.Results
 	benchErr     error
+	benchSink    int
 )
 
 func allResults(b *testing.B) *experiments.Results {
@@ -294,6 +295,38 @@ func BenchmarkHappensBefore(b *testing.B) {
 				b.Fatal("unsynchronized conflicts")
 			}
 		}
+	}
+}
+
+// BenchmarkAnalyzeParallel compares the serial analysis oracle against the
+// sharded engine over the full registry trace set at growing pool sizes.
+// Speedup only materializes with free hardware threads: on a machine with
+// >=8 cores expect workers=8 to finish the sweep at least 2x faster than
+// serial; on a 1-2 core host the parallel path degrades to roughly serial
+// cost plus scheduling noise. Record the host's core count with the numbers.
+func BenchmarkAnalyzeParallel(b *testing.B) {
+	res := allResults(b)
+	sweep := func(b *testing.B, analyze func(tr *recorder.Trace) *Analysis) {
+		b.Helper()
+		for i := 0; i < b.N; i++ {
+			for _, name := range res.Ordered {
+				an := analyze(res.ByName[name].Trace)
+				if len(an.Patterns) == 0 {
+					b.Fatalf("%s: empty analysis", name)
+				}
+				benchSink += an.Global.Total()
+			}
+		}
+	}
+	b.Run("serial", func(b *testing.B) {
+		sweep(b, Analyze)
+	})
+	for _, workers := range []int{1, 2, 4, 8} {
+		b.Run(fmt.Sprintf("parallel/workers=%d", workers), func(b *testing.B) {
+			sweep(b, func(tr *recorder.Trace) *Analysis {
+				return AnalyzeParallel(tr, workers)
+			})
+		})
 	}
 }
 

@@ -12,6 +12,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"sort"
 
 	semfs "repro"
 	"repro/internal/core"
@@ -25,6 +26,7 @@ func main() {
 		validate = flag.Bool("validate", true, "validate conflict ordering against MPI happens-before")
 		maxShow  = flag.Int("show", 5, "max conflicts to print per file")
 		full     = flag.Bool("report", false, "print the full per-run report (function counters, size histogram, per-file table)")
+		workers  = flag.Int("workers", 0, "analysis worker pool size: 0 = GOMAXPROCS (parallel), 1 = serial reference path")
 	)
 	flag.Parse()
 	if *dir == "" {
@@ -42,7 +44,15 @@ func main() {
 		fmt.Println(report.BuildRunReport(tr).Render())
 	}
 
-	an := semfs.Analyze(tr)
+	// The parallel engine is bit-identical to the serial path (see the
+	// serial-equivalence tests); -workers 1 keeps the reference path for
+	// debugging.
+	var an *semfs.Analysis
+	if *workers == 1 {
+		an = semfs.Analyze(tr)
+	} else {
+		an = semfs.AnalyzeParallel(tr, *workers)
+	}
 
 	fmt.Println("High-level access patterns (Table 3):")
 	for _, p := range an.Patterns {
@@ -56,11 +66,15 @@ func main() {
 
 	printConflicts := func(model string, byFile map[string][]core.Conflict) {
 		total := 0
-		for _, cs := range byFile {
-			total += len(cs)
-		}
-		fmt.Printf("\nConflicts under %s semantics: %d\n", model, total)
+		paths := make([]string, 0, len(byFile))
 		for path, cs := range byFile {
+			total += len(cs)
+			paths = append(paths, path)
+		}
+		sort.Strings(paths) // map order would make repeated runs diff
+		fmt.Printf("\nConflicts under %s semantics: %d\n", model, total)
+		for _, path := range paths {
+			cs := byFile[path]
 			fmt.Printf("  %s: %d pairs\n", path, len(cs))
 			for i, c := range cs {
 				if i >= *maxShow {

@@ -23,11 +23,12 @@ import (
 
 func main() {
 	var (
-		out   = flag.String("out", "results", "output directory")
-		ranks = flag.Int("ranks", 64, "ranks per run")
-		ppn   = flag.Int("ppn", 8, "processes per node")
-		seed  = flag.Uint64("seed", 1, "simulation seed")
-		only  = flag.String("only", "", "generate a single artifact: table1|table3|table4|table5|figure1|figure2|figure3|verdicts")
+		out     = flag.String("out", "results", "output directory")
+		ranks   = flag.Int("ranks", 64, "ranks per run")
+		ppn     = flag.Int("ppn", 8, "processes per node")
+		seed    = flag.Uint64("seed", 1, "simulation seed")
+		only    = flag.String("only", "", "generate a single artifact: table1|table3|table4|table5|figure1|figure2|figure3|verdicts")
+		workers = flag.Int("workers", 0, "how many configurations to run concurrently: 0 = GOMAXPROCS, 1 = serial")
 	)
 	flag.Parse()
 
@@ -57,9 +58,14 @@ func main() {
 	}
 
 	fmt.Printf("running all %d configurations at %d ranks...\n", 25, *ranks)
-	results, err := experiments.RunAll(scale)
+	results, err := experiments.RunAllWorkers(scale, *workers)
 	if err != nil {
-		fatal(err)
+		// Failures are per-configuration: report every one, then keep going
+		// with whatever succeeded rather than losing the whole sweep.
+		fmt.Fprintln(os.Stderr, "semrepro: some configurations failed:\n", err)
+		if len(results.Ordered) == 0 {
+			os.Exit(1)
+		}
 	}
 
 	if want("table3") {

@@ -1,0 +1,76 @@
+// Package analysistest is the serial-equivalence harness of the parallel
+// analysis engine: the serial semfs.Analyze path is the correctness oracle
+// (it is the literal transcription of the paper's algorithms), and any
+// concurrent path must produce identical results. Tests at every layer
+// reuse these helpers so the parallel engine can never silently diverge —
+// add a worker count or a new workload here and every equivalence test
+// picks it up.
+package analysistest
+
+import (
+	"fmt"
+	"reflect"
+	"testing"
+
+	semfs "repro"
+	"repro/internal/recorder"
+)
+
+// DefaultWorkerCounts covers the interesting pool shapes: GOMAXPROCS (0),
+// the serial fallback (1), a small pool, an odd pool, and a pool far larger
+// than any test trace's file count.
+var DefaultWorkerCounts = []int{0, 1, 2, 5, 32}
+
+// RequireEqual fails t unless the two analyses are identical, reporting the
+// first field that differs (field-by-field beats one opaque DeepEqual on
+// the whole struct: a census mismatch should not print conflict lists).
+func RequireEqual(t testing.TB, label string, serial, parallel *semfs.Analysis) {
+	t.Helper()
+	check := func(field string, a, b any) {
+		t.Helper()
+		if !reflect.DeepEqual(a, b) {
+			t.Errorf("%s: parallel %s diverges from serial oracle\nserial:   %+v\nparallel: %+v",
+				label, field, a, b)
+		}
+	}
+	check("Verdict", serial.Verdict, parallel.Verdict)
+	check("SessionConflicts", serial.SessionConflicts, parallel.SessionConflicts)
+	check("CommitConflicts", serial.CommitConflicts, parallel.CommitConflicts)
+	check("Patterns", serial.Patterns, parallel.Patterns)
+	check("Global", serial.Global, parallel.Global)
+	check("Local", serial.Local, parallel.Local)
+	check("Census", serial.Census, parallel.Census)
+	check("MetaConflicts", serial.MetaConflicts, parallel.MetaConflicts)
+	check("MetaSignature", serial.MetaSignature, parallel.MetaSignature)
+}
+
+// CheckTrace asserts AnalyzeParallel(tr, w) == Analyze(tr) for every worker
+// count (DefaultWorkerCounts when none given).
+func CheckTrace(t testing.TB, label string, tr *recorder.Trace, workerCounts ...int) {
+	t.Helper()
+	if len(workerCounts) == 0 {
+		workerCounts = DefaultWorkerCounts
+	}
+	oracle := semfs.Analyze(tr)
+	for _, w := range workerCounts {
+		RequireEqual(t, labelWorkers(label, w), oracle, semfs.AnalyzeParallel(tr, w))
+	}
+}
+
+// CheckApp runs one registry application configuration and asserts
+// serial/parallel analysis equivalence on its trace.
+func CheckApp(t testing.TB, name string, o semfs.RunOptions, workerCounts ...int) {
+	t.Helper()
+	res, err := semfs.Run(name, o)
+	if err != nil {
+		t.Fatalf("%s: %v", name, err)
+	}
+	if err := res.Err(); err != nil {
+		t.Fatalf("%s: rank error: %v", name, err)
+	}
+	CheckTrace(t, name, res.Trace, workerCounts...)
+}
+
+func labelWorkers(label string, w int) string {
+	return fmt.Sprintf("%s/workers=%d", label, w)
+}

@@ -187,6 +187,12 @@ type Verdict struct {
 func Analyze(tr *recorder.Trace) Verdict {
 	_, session := AnalyzeConflicts(tr, pfs.Session)
 	_, commit := AnalyzeConflicts(tr, pfs.Commit)
+	return VerdictFrom(session, commit)
+}
+
+// VerdictFrom derives the §6.3 verdict from the two model signatures — the
+// shared tail of the serial and parallel analysis paths.
+func VerdictFrom(session, commit ConflictSignature) Verdict {
 	v := Verdict{Session: session, Commit: commit}
 	switch {
 	case !session.HasDifferentProcess():

@@ -74,6 +74,21 @@ type fdState struct {
 // layer. Results are keyed by path and returned sorted by path.
 func Extract(tr *recorder.Trace) []*FileAccesses {
 	files := make(map[string]*FileAccesses)
+	for _, rs := range tr.PerRank {
+		extractRank(rs, files)
+	}
+	out := sortedFiles(files)
+	for _, fa := range out {
+		annotate(fa)
+	}
+	return out
+}
+
+// extractRank walks one rank's record stream and accumulates its file
+// accesses into files. Offset and size state is rank-local (§5.1), so rank
+// streams can be processed independently as long as each rank's records are
+// appended to a path's tables in rank order.
+func extractRank(rs []recorder.Record, files map[string]*FileAccesses) {
 	get := func(path string) *FileAccesses {
 		fa, ok := files[path]
 		if !ok {
@@ -88,91 +103,91 @@ func Extract(tr *recorder.Trace) []*FileAccesses {
 		return fa
 	}
 
-	for rank, rs := range tr.PerRank {
-		_ = rank
-		fds := make(map[int64]*fdState)
-		sizeByPath := make(map[string]int64) // this rank's view, for O_APPEND
-		origins, phases := attributeOrigins(rs)
+	fds := make(map[int64]*fdState)
+	sizeByPath := make(map[string]int64) // this rank's view, for O_APPEND
+	origins, phases := attributeOrigins(rs)
 
-		noteSize := func(path string, end int64) {
-			if end > sizeByPath[path] {
-				sizeByPath[path] = end
-			}
-		}
-
-		for i := range rs {
-			r := &rs[i]
-			if r.Layer != recorder.LayerPOSIX {
-				continue
-			}
-			switch {
-			case r.IsOpenOp():
-				fd := r.Arg(2)
-				if fd < 0 {
-					continue // failed open
-				}
-				flags := int(r.Arg(0))
-				st := &fdState{path: r.Path, appendMd: flags&recorder.OAppend != 0}
-				fds[fd] = st
-				if flags&recorder.OTrunc != 0 {
-					sizeByPath[r.Path] = 0
-				}
-				fa := get(r.Path)
-				fa.OpensByRank[r.Rank] = append(fa.OpensByRank[r.Rank], r.TStart)
-			case r.IsCloseOp():
-				fd := r.Arg(0)
-				if st, ok := fds[fd]; ok {
-					fa := get(st.path)
-					fa.ClosesByRank[r.Rank] = append(fa.ClosesByRank[r.Rank], r.TStart)
-					fa.CommitsByRank[r.Rank] = append(fa.CommitsByRank[r.Rank], r.TStart)
-					delete(fds, fd)
-				}
-			case r.Func == recorder.FuncFsync || r.Func == recorder.FuncFdatasync || r.Func == recorder.FuncFflush:
-				fd := r.Arg(0)
-				if st, ok := fds[fd]; ok {
-					fa := get(st.path)
-					fa.CommitsByRank[r.Rank] = append(fa.CommitsByRank[r.Rank], r.TStart)
-				}
-			case r.Func == recorder.FuncLseek || r.Func == recorder.FuncFseek:
-				fd := r.Arg(0)
-				st, ok := fds[fd]
-				if !ok {
-					continue
-				}
-				off, whence, ret := r.Arg(1), r.Arg(2), r.Arg(3)
-				switch whence {
-				case recorder.SeekSet:
-					st.offset = off
-				case recorder.SeekCur:
-					st.offset += off
-				case recorder.SeekEnd:
-					// The file size is not derivable from one rank's record
-					// stream; use the call's recorded return value, as a
-					// real tracer would.
-					st.offset = ret
-				}
-			case r.Func == recorder.FuncFtruncate:
-				if st, ok := fds[r.Arg(0)]; ok {
-					sizeByPath[st.path] = r.Arg(1)
-				}
-			case r.Func == recorder.FuncTruncate:
-				sizeByPath[r.Path] = r.Arg(1)
-			case r.IsDataOp():
-				iv, path, ok := dataInterval(r, fds, sizeByPath)
-				if !ok {
-					continue
-				}
-				iv.Origin, iv.Phase = origins[i], phases[i]
-				noteSize(path, iv.Oe)
-				fa := get(path)
-				fa.Intervals = append(fa.Intervals, iv)
-			}
+	noteSize := func(path string, end int64) {
+		if end > sizeByPath[path] {
+			sizeByPath[path] = end
 		}
 	}
 
+	for i := range rs {
+		r := &rs[i]
+		if r.Layer != recorder.LayerPOSIX {
+			continue
+		}
+		switch {
+		case r.IsOpenOp():
+			fd := r.Arg(2)
+			if fd < 0 {
+				continue // failed open
+			}
+			flags := int(r.Arg(0))
+			st := &fdState{path: r.Path, appendMd: flags&recorder.OAppend != 0}
+			fds[fd] = st
+			if flags&recorder.OTrunc != 0 {
+				sizeByPath[r.Path] = 0
+			}
+			fa := get(r.Path)
+			fa.OpensByRank[r.Rank] = append(fa.OpensByRank[r.Rank], r.TStart)
+		case r.IsCloseOp():
+			fd := r.Arg(0)
+			if st, ok := fds[fd]; ok {
+				fa := get(st.path)
+				fa.ClosesByRank[r.Rank] = append(fa.ClosesByRank[r.Rank], r.TStart)
+				fa.CommitsByRank[r.Rank] = append(fa.CommitsByRank[r.Rank], r.TStart)
+				delete(fds, fd)
+			}
+		case r.Func == recorder.FuncFsync || r.Func == recorder.FuncFdatasync || r.Func == recorder.FuncFflush:
+			fd := r.Arg(0)
+			if st, ok := fds[fd]; ok {
+				fa := get(st.path)
+				fa.CommitsByRank[r.Rank] = append(fa.CommitsByRank[r.Rank], r.TStart)
+			}
+		case r.Func == recorder.FuncLseek || r.Func == recorder.FuncFseek:
+			fd := r.Arg(0)
+			st, ok := fds[fd]
+			if !ok {
+				continue
+			}
+			off, whence, ret := r.Arg(1), r.Arg(2), r.Arg(3)
+			switch whence {
+			case recorder.SeekSet:
+				st.offset = off
+			case recorder.SeekCur:
+				st.offset += off
+			case recorder.SeekEnd:
+				// The file size is not derivable from one rank's record
+				// stream; use the call's recorded return value, as a
+				// real tracer would.
+				st.offset = ret
+			}
+		case r.Func == recorder.FuncFtruncate:
+			if st, ok := fds[r.Arg(0)]; ok {
+				sizeByPath[st.path] = r.Arg(1)
+			}
+		case r.Func == recorder.FuncTruncate:
+			sizeByPath[r.Path] = r.Arg(1)
+		case r.IsDataOp():
+			iv, path, ok := dataInterval(r, fds, sizeByPath)
+			if !ok {
+				continue
+			}
+			iv.Origin, iv.Phase = origins[i], phases[i]
+			noteSize(path, iv.Oe)
+			fa := get(path)
+			fa.Intervals = append(fa.Intervals, iv)
+		}
+	}
+}
+
+// sortedFiles flattens an extraction map into the path-sorted slice every
+// analysis consumes. Annotation is the caller's responsibility.
+func sortedFiles(files map[string]*FileAccesses) []*FileAccesses {
 	out := make([]*FileAccesses, 0, len(files))
 	for _, fa := range files {
-		annotate(fa)
 		out = append(out, fa)
 	}
 	sort.Slice(out, func(i, j int) bool { return out[i].Path < out[j].Path })

@@ -92,113 +92,148 @@ type metaEvent struct {
 // outcomes).
 func DetectMetadataConflicts(tr *recorder.Trace) []MetaConflict {
 	events := make(map[string][]metaEvent)
-	add := func(p string, e metaEvent) {
-		if p == "" || p == "/" {
-			return
-		}
-		events[p] = append(events[p], e)
-	}
-
 	for _, rs := range tr.PerRank {
-		// Per-rank pass with create-probe suppression: remember the last
-		// stat-family use per path and drop it if the next touch of the
-		// path by this rank is a creating open.
-		pendingStat := make(map[string]int) // path -> index into perRank list
-		var local []metaEvent
-		flushStat := func(p string) {
-			delete(pendingStat, p)
-		}
-		for i := range rs {
-			r := &rs[i]
-			if r.Layer != recorder.LayerPOSIX {
-				continue
-			}
-			ref := MetaOpRef{Rank: r.Rank, T: r.TStart, TEnd: r.TEnd, Func: r.Func, Path: r.Path}
-			switch {
-			case r.IsOpenOp():
-				flags := int(r.Arg(0))
-				if r.Arg(2) < 0 {
-					continue // failed open is not a dependency carrier
-				}
-				if flags&recorder.OCreat != 0 {
-					// Creating open: a mutation of the path, a use of the
-					// parent directory, and it cancels this rank's pending
-					// existence probe.
-					if idx, ok := pendingStat[r.Path]; ok {
-						local[idx].ref.Path = "" // mark dropped
-						flushStat(r.Path)
-					}
-					kind := CreateUse
-					local = append(local, metaEvent{ref: ref, mutation: true, kind: kind})
-					if flags&recorder.OTrunc != 0 {
-						local = append(local, metaEvent{ref: ref, mutation: true, kind: ResizeUse})
-					}
-					if dir := path.Dir(r.Path); dir != "/" && dir != "." {
-						dref := ref
-						dref.Path = dir
-						local = append(local, metaEvent{ref: dref})
-					}
-				} else {
-					local = append(local, metaEvent{ref: ref})
-				}
-			case r.Func == recorder.FuncMkdir:
-				local = append(local, metaEvent{ref: ref, mutation: true, kind: CreateUse})
-			case r.Func == recorder.FuncUnlink || r.Func == recorder.FuncRemove:
-				local = append(local, metaEvent{ref: ref, mutation: true, kind: RemoveUse})
-			case r.Func == recorder.FuncRename:
-				local = append(local, metaEvent{ref: ref, mutation: true, kind: RemoveUse})
-				dst := ref
-				dst.Path = r.Path2
-				local = append(local, metaEvent{ref: dst, mutation: true, kind: CreateUse})
-			case r.Func == recorder.FuncTruncate:
-				local = append(local, metaEvent{ref: ref, mutation: true, kind: ResizeUse})
-			case r.Func == recorder.FuncStat || r.Func == recorder.FuncLstat ||
-				r.Func == recorder.FuncAccess || r.Func == recorder.FuncOpendir:
-				local = append(local, metaEvent{ref: ref})
-				pendingStat[r.Path] = len(local) - 1
-			}
-		}
-		for _, e := range local {
-			if e.ref.Path == "" {
-				continue // suppressed create probe
-			}
-			add(e.ref.Path, e)
-		}
+		addMetaEvents(events, metaEventsRank(rs))
 	}
 
 	var out []MetaConflict
 	for p, evs := range events {
-		sort.SliceStable(evs, func(i, j int) bool { return evs[i].ref.T < evs[j].ref.T })
-		for i, e := range evs {
-			if e.mutation {
-				continue
+		out = append(out, metaConflictsForPath(p, evs)...)
+	}
+	sortMetaConflicts(out)
+	return out
+}
+
+// metaEventsRank collects one rank's metadata events (with create-probe
+// suppression applied): it remembers the last stat-family use per path and
+// drops it if the next touch of the path by this rank is a creating open.
+// Suppressed events are returned with an empty Path.
+func metaEventsRank(rs []recorder.Record) []metaEvent {
+	pendingStat := make(map[string]int) // path -> index into local list
+	var local []metaEvent
+	flushStat := func(p string) {
+		delete(pendingStat, p)
+	}
+	for i := range rs {
+		r := &rs[i]
+		if r.Layer != recorder.LayerPOSIX {
+			continue
+		}
+		ref := MetaOpRef{Rank: r.Rank, T: r.TStart, TEnd: r.TEnd, Func: r.Func, Path: r.Path}
+		switch {
+		case r.IsOpenOp():
+			flags := int(r.Arg(0))
+			if r.Arg(2) < 0 {
+				continue // failed open is not a dependency carrier
 			}
-			// Most recent prior cross-rank mutation; a single operation can
-			// carry several mutation kinds (O_CREAT|O_TRUNC is both a
-			// creation and a resize), so report each kind of that operation.
-			for j := i - 1; j >= 0; j-- {
-				m := evs[j]
-				if !m.mutation || m.ref.Rank == e.ref.Rank {
-					continue
+			if flags&recorder.OCreat != 0 {
+				// Creating open: a mutation of the path, a use of the
+				// parent directory, and it cancels this rank's pending
+				// existence probe.
+				if idx, ok := pendingStat[r.Path]; ok {
+					local[idx].ref.Path = "" // mark dropped
+					flushStat(r.Path)
 				}
-				for k := j; k >= 0; k-- {
-					mk := evs[k]
-					if !mk.mutation || mk.ref.Rank != m.ref.Rank || mk.ref.T != m.ref.T {
-						break
-					}
-					out = append(out, MetaConflict{Kind: mk.kind, Path: p, Mutation: mk.ref, Use: e.ref})
+				kind := CreateUse
+				local = append(local, metaEvent{ref: ref, mutation: true, kind: kind})
+				if flags&recorder.OTrunc != 0 {
+					local = append(local, metaEvent{ref: ref, mutation: true, kind: ResizeUse})
 				}
-				break
+				if dir := path.Dir(r.Path); dir != "/" && dir != "." {
+					dref := ref
+					dref.Path = dir
+					local = append(local, metaEvent{ref: dref})
+				}
+			} else {
+				local = append(local, metaEvent{ref: ref})
 			}
+		case r.Func == recorder.FuncMkdir:
+			local = append(local, metaEvent{ref: ref, mutation: true, kind: CreateUse})
+		case r.Func == recorder.FuncUnlink || r.Func == recorder.FuncRemove:
+			local = append(local, metaEvent{ref: ref, mutation: true, kind: RemoveUse})
+		case r.Func == recorder.FuncRename:
+			local = append(local, metaEvent{ref: ref, mutation: true, kind: RemoveUse})
+			dst := ref
+			dst.Path = r.Path2
+			local = append(local, metaEvent{ref: dst, mutation: true, kind: CreateUse})
+		case r.Func == recorder.FuncTruncate:
+			local = append(local, metaEvent{ref: ref, mutation: true, kind: ResizeUse})
+		case r.Func == recorder.FuncStat || r.Func == recorder.FuncLstat ||
+			r.Func == recorder.FuncAccess || r.Func == recorder.FuncOpendir:
+			local = append(local, metaEvent{ref: ref})
+			pendingStat[r.Path] = len(local) - 1
 		}
 	}
-	sort.Slice(out, func(i, j int) bool {
-		if out[i].Use.T != out[j].Use.T {
-			return out[i].Use.T < out[j].Use.T
+	return local
+}
+
+// addMetaEvents folds one rank's event list into the per-path event map,
+// skipping suppressed probes. Calling this in rank order for every rank
+// gives each path's list a deterministic (rank, program-order) sequence.
+func addMetaEvents(events map[string][]metaEvent, local []metaEvent) {
+	for _, e := range local {
+		p := e.ref.Path
+		if p == "" || p == "/" {
+			continue // suppressed create probe or root
 		}
-		return out[i].Path < out[j].Path
-	})
+		events[p] = append(events[p], e)
+	}
+}
+
+// metaConflictsForPath scans one path's event list (any insertion order;
+// it stably re-sorts by time) for cross-process (mutation, use) pairs.
+func metaConflictsForPath(p string, evs []metaEvent) []MetaConflict {
+	sort.SliceStable(evs, func(i, j int) bool { return evs[i].ref.T < evs[j].ref.T })
+	var out []MetaConflict
+	for i, e := range evs {
+		if e.mutation {
+			continue
+		}
+		// Most recent prior cross-rank mutation; a single operation can
+		// carry several mutation kinds (O_CREAT|O_TRUNC is both a
+		// creation and a resize), so report each kind of that operation.
+		for j := i - 1; j >= 0; j-- {
+			m := evs[j]
+			if !m.mutation || m.ref.Rank == e.ref.Rank {
+				continue
+			}
+			for k := j; k >= 0; k-- {
+				mk := evs[k]
+				if !mk.mutation || mk.ref.Rank != m.ref.Rank || mk.ref.T != m.ref.T {
+					break
+				}
+				out = append(out, MetaConflict{Kind: mk.kind, Path: p, Mutation: mk.ref, Use: e.ref})
+			}
+			break
+		}
+	}
 	return out
+}
+
+// sortMetaConflicts orders conflicts by a total key so the output is
+// deterministic regardless of map iteration order — ties on (Use.T, Path)
+// are real (an O_CREAT|O_TRUNC mutation yields a create-use and a
+// resize-use pair against the same use) and must not flap between runs.
+func sortMetaConflicts(out []MetaConflict) {
+	sort.Slice(out, func(i, j int) bool {
+		a, b := &out[i], &out[j]
+		if a.Use.T != b.Use.T {
+			return a.Use.T < b.Use.T
+		}
+		if a.Path != b.Path {
+			return a.Path < b.Path
+		}
+		if a.Use.Rank != b.Use.Rank {
+			return a.Use.Rank < b.Use.Rank
+		}
+		if a.Mutation.T != b.Mutation.T {
+			return a.Mutation.T > b.Mutation.T // most recent mutation first, as emitted
+		}
+		if a.Mutation.Rank != b.Mutation.Rank {
+			return a.Mutation.Rank < b.Mutation.Rank
+		}
+		return a.Kind < b.Kind
+	})
 }
 
 // MetaSignatureOf summarizes the detected metadata conflicts.

@@ -88,20 +88,25 @@ func (c *Census) Used(f recorder.Func) bool {
 func MetadataCensus(tr *recorder.Trace) *Census {
 	c := &Census{Counts: make(map[string]map[recorder.Func]int)}
 	for _, rs := range tr.PerRank {
-		origins, _ := attributeOrigins(rs)
-		for i := range rs {
-			r := &rs[i]
-			if !r.IsMetadataOp() {
-				continue
-			}
-			origin := OriginName(origins[i])
-			m, ok := c.Counts[origin]
-			if !ok {
-				m = make(map[recorder.Func]int)
-				c.Counts[origin] = m
-			}
-			m[r.Func]++
-		}
+		censusRank(rs, c)
 	}
 	return c
+}
+
+// censusRank tallies one rank's metadata operations into c.
+func censusRank(rs []recorder.Record, c *Census) {
+	origins, _ := attributeOrigins(rs)
+	for i := range rs {
+		r := &rs[i]
+		if !r.IsMetadataOp() {
+			continue
+		}
+		origin := OriginName(origins[i])
+		m, ok := c.Counts[origin]
+		if !ok {
+			m = make(map[recorder.Func]int)
+			c.Counts[origin] = m
+		}
+		m[r.Func]++
+	}
 }

@@ -1,0 +1,255 @@
+package core
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/pfs"
+	"repro/internal/recorder"
+)
+
+// Parallel analysis engine. Every pass of the paper's offline analysis is
+// embarrassingly parallel across rank streams (extraction, census, metadata
+// events) or across files (conflict detection, pattern classification), so
+// each *Parallel entry point shards its input over a bounded worker pool
+// and then performs a deterministic merge: shard results land in
+// index-addressed slots and are folded back in input (rank or path) order,
+// so the output is identical to the serial pass — the serial functions
+// remain the correctness oracle the equivalence tests compare against.
+
+// EffectiveWorkers normalizes a requested worker count: values <= 0 select
+// runtime.GOMAXPROCS(0), everything else is used as given.
+func EffectiveWorkers(workers int) int {
+	if workers <= 0 {
+		return runtime.GOMAXPROCS(0)
+	}
+	return workers
+}
+
+// ParallelFor runs fn(i) for every i in [0, n) on a bounded pool of
+// workers goroutines (see EffectiveWorkers; capped at n). Indices are
+// handed out by an atomic counter, so the pool load-balances uneven work
+// items. fn must be safe to call concurrently for distinct indices; the
+// call returns once every index has been processed.
+func ParallelFor(n, workers int, fn func(i int)) {
+	workers = EffectiveWorkers(workers)
+	if workers > n {
+		workers = n
+	}
+	if workers <= 1 {
+		for i := 0; i < n; i++ {
+			fn(i)
+		}
+		return
+	}
+	var next atomic.Int64
+	next.Store(-1)
+	var wg sync.WaitGroup
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1))
+				if i >= n {
+					return
+				}
+				fn(i)
+			}
+		}()
+	}
+	wg.Wait()
+}
+
+// ExtractParallel is the sharded Extract: rank streams are processed
+// concurrently into per-rank partial maps, merged in rank order (which
+// reproduces the serial append order of every per-path table), and the
+// per-file §5.2 annotation pass is then sharded across files. Output is
+// identical to Extract.
+func ExtractParallel(tr *recorder.Trace, workers int) []*FileAccesses {
+	n := len(tr.PerRank)
+	if EffectiveWorkers(workers) <= 1 || n <= 1 {
+		return Extract(tr)
+	}
+	partial := make([]map[string]*FileAccesses, n)
+	ParallelFor(n, workers, func(r int) {
+		m := make(map[string]*FileAccesses)
+		extractRank(tr.PerRank[r], m)
+		partial[r] = m
+	})
+
+	merged := make(map[string]*FileAccesses)
+	for r := 0; r < n; r++ { // rank order = serial append order
+		for p, part := range partial[r] {
+			dst, ok := merged[p]
+			if !ok {
+				merged[p] = part
+				continue
+			}
+			dst.Intervals = append(dst.Intervals, part.Intervals...)
+			mergeTimes(dst.OpensByRank, part.OpensByRank)
+			mergeTimes(dst.ClosesByRank, part.ClosesByRank)
+			mergeTimes(dst.CommitsByRank, part.CommitsByRank)
+		}
+	}
+	out := sortedFiles(merged)
+	ParallelFor(len(out), workers, func(i int) { annotate(out[i]) })
+	return out
+}
+
+func mergeTimes(dst, src map[int32][]uint64) {
+	for r, ts := range src {
+		dst[r] = append(dst[r], ts...)
+	}
+}
+
+// ConflictsForFiles runs per-file conflict detection over already-extracted
+// accesses on a worker pool and merges in path order — the shared core of
+// AnalyzeConflictsParallel and semfs.AnalyzeParallel (which reuses one
+// extraction across passes). fas must not be mutated concurrently.
+func ConflictsForFiles(fas []*FileAccesses, model pfs.Semantics, workers int) (map[string][]Conflict, ConflictSignature) {
+	per := make([][]Conflict, len(fas))
+	ParallelFor(len(fas), workers, func(i int) { per[i] = DetectConflicts(fas[i], model) })
+	byFile := make(map[string][]Conflict)
+	var all []Conflict
+	for i, fa := range fas {
+		if len(per[i]) > 0 {
+			byFile[fa.Path] = per[i]
+			all = append(all, per[i]...)
+		}
+	}
+	return byFile, Signature(all)
+}
+
+// AnalyzeConflictsParallel is the sharded AnalyzeConflicts.
+func AnalyzeConflictsParallel(tr *recorder.Trace, model pfs.Semantics, workers int) (map[string][]Conflict, ConflictSignature) {
+	return ConflictsForFiles(ExtractParallel(tr, workers), model, workers)
+}
+
+// AnalyzeParallel is the sharded Analyze: one extraction, then both model
+// sweeps scattered over a single pool (session tasks first, commit tasks
+// after, so every worker stays busy across the model boundary).
+func AnalyzeParallel(tr *recorder.Trace, workers int) Verdict {
+	fas := ExtractParallel(tr, workers)
+	n := len(fas)
+	per := make([][]Conflict, 2*n)
+	ParallelFor(2*n, workers, func(i int) {
+		if i < n {
+			per[i] = DetectConflicts(fas[i], pfs.Session)
+		} else {
+			per[i] = DetectConflicts(fas[i-n], pfs.Commit)
+		}
+	})
+	var session, commit []Conflict
+	for i := 0; i < n; i++ {
+		session = append(session, per[i]...)
+		commit = append(commit, per[n+i]...)
+	}
+	return VerdictFrom(Signature(session), Signature(commit))
+}
+
+// MetadataCensusParallel is the sharded MetadataCensus: per-rank partial
+// censuses merged by addition (commutative, so any merge order is exact).
+func MetadataCensusParallel(tr *recorder.Trace, workers int) *Census {
+	n := len(tr.PerRank)
+	if EffectiveWorkers(workers) <= 1 || n <= 1 {
+		return MetadataCensus(tr)
+	}
+	partial := make([]*Census, n)
+	ParallelFor(n, workers, func(r int) {
+		c := &Census{Counts: make(map[string]map[recorder.Func]int)}
+		censusRank(tr.PerRank[r], c)
+		partial[r] = c
+	})
+	out := &Census{Counts: make(map[string]map[recorder.Func]int)}
+	for _, c := range partial {
+		for origin, m := range c.Counts {
+			dst, ok := out.Counts[origin]
+			if !ok {
+				dst = make(map[recorder.Func]int)
+				out.Counts[origin] = dst
+			}
+			for f, v := range m {
+				dst[f] += v
+			}
+		}
+	}
+	return out
+}
+
+// DetectMetadataConflictsParallel is the sharded DetectMetadataConflicts:
+// per-rank event collection in parallel, folded in rank order, then the
+// per-path scans sharded across paths. The final total-order sort makes the
+// merge order immaterial.
+func DetectMetadataConflictsParallel(tr *recorder.Trace, workers int) []MetaConflict {
+	n := len(tr.PerRank)
+	if EffectiveWorkers(workers) <= 1 || n <= 1 {
+		return DetectMetadataConflicts(tr)
+	}
+	locals := make([][]metaEvent, n)
+	ParallelFor(n, workers, func(r int) { locals[r] = metaEventsRank(tr.PerRank[r]) })
+	events := make(map[string][]metaEvent)
+	for _, local := range locals { // rank order, as in the serial pass
+		addMetaEvents(events, local)
+	}
+	paths := make([]string, 0, len(events))
+	for p := range events {
+		paths = append(paths, p)
+	}
+	per := make([][]MetaConflict, len(paths))
+	ParallelFor(len(paths), workers, func(i int) {
+		per[i] = metaConflictsForPath(paths[i], events[paths[i]])
+	})
+	var out []MetaConflict
+	for _, cs := range per {
+		out = append(out, cs...)
+	}
+	sortMetaConflicts(out)
+	return out
+}
+
+// GlobalPatternParallel is the sharded GlobalPattern (per-file mixes are
+// summed; addition is commutative so the merge is exact).
+func GlobalPatternParallel(fas []*FileAccesses, workers int) PatternMix {
+	return patternParallel(fas, workers, globalPatternFile)
+}
+
+// LocalPatternParallel is the sharded LocalPattern.
+func LocalPatternParallel(fas []*FileAccesses, workers int) PatternMix {
+	return patternParallel(fas, workers, localPatternFile)
+}
+
+func patternParallel(fas []*FileAccesses, workers int, file func(*FileAccesses) PatternMix) PatternMix {
+	per := make([]PatternMix, len(fas))
+	ParallelFor(len(fas), workers, func(i int) { per[i] = file(fas[i]) })
+	var mix PatternMix
+	for _, m := range per {
+		mix = mix.plus(m)
+	}
+	return mix
+}
+
+// ClassifyHighLevelParallel is the sharded ClassifyHighLevel: the per-file
+// summaries (the expensive part — per-rank layout classification) are
+// computed concurrently, then compacted in path order and grouped serially,
+// reproducing the serial family order exactly. opts.Exclude, if supplied,
+// must be safe for concurrent calls.
+func ClassifyHighLevelParallel(fas []*FileAccesses, opts HLOptions, workers int) []HighLevelPattern {
+	o := opts.withDefaults()
+	slots := make([]*fileSummary, len(fas))
+	ParallelFor(len(fas), workers, func(i int) {
+		fa := fas[i]
+		if o.Exclude(fa.Path) || len(fa.Intervals) == 0 {
+			return
+		}
+		slots[i] = summarize(fa, o.MetaSizeThreshold)
+	})
+	sums := make([]*fileSummary, 0, len(slots))
+	for _, s := range slots {
+		if s != nil {
+			sums = append(sums, s)
+		}
+	}
+	return groupSummaries(sums, o.WorldSize)
+}

@@ -51,6 +51,17 @@ func (m PatternMix) Pct() (float64, float64, float64) {
 		100 * float64(m.Random) / float64(t)
 }
 
+// plus returns the element-wise sum of two mixes (class counts are
+// additive across files, which is what makes the per-file shard merge of
+// the parallel path exact).
+func (m PatternMix) plus(o PatternMix) PatternMix {
+	return PatternMix{
+		Consecutive: m.Consecutive + o.Consecutive,
+		Monotonic:   m.Monotonic + o.Monotonic,
+		Random:      m.Random + o.Random,
+	}
+}
+
 func (m *PatternMix) add(c AccessClass) {
 	switch c {
 	case Consecutive:
@@ -78,16 +89,23 @@ func classify(prev, next *Interval) AccessClass {
 func LocalPattern(fas []*FileAccesses) PatternMix {
 	var mix PatternMix
 	for _, fa := range fas {
-		byRank := make(map[int32][]*Interval)
-		for i := range fa.Intervals {
-			iv := &fa.Intervals[i]
-			byRank[iv.Rank] = append(byRank[iv.Rank], iv)
-		}
-		for _, seq := range byRank {
-			sortByTime(seq)
-			for i := 1; i < len(seq); i++ {
-				mix.add(classify(seq[i-1], seq[i]))
-			}
+		mix = mix.plus(localPatternFile(fa))
+	}
+	return mix
+}
+
+// localPatternFile computes one file's local transition mix.
+func localPatternFile(fa *FileAccesses) PatternMix {
+	var mix PatternMix
+	byRank := make(map[int32][]*Interval)
+	for i := range fa.Intervals {
+		iv := &fa.Intervals[i]
+		byRank[iv.Rank] = append(byRank[iv.Rank], iv)
+	}
+	for _, seq := range byRank {
+		sortByTime(seq)
+		for i := 1; i < len(seq); i++ {
+			mix.add(classify(seq[i-1], seq[i]))
 		}
 	}
 	return mix
@@ -99,14 +117,21 @@ func LocalPattern(fas []*FileAccesses) PatternMix {
 func GlobalPattern(fas []*FileAccesses) PatternMix {
 	var mix PatternMix
 	for _, fa := range fas {
-		seq := make([]*Interval, 0, len(fa.Intervals))
-		for i := range fa.Intervals {
-			seq = append(seq, &fa.Intervals[i])
-		}
-		sortByTime(seq)
-		for i := 1; i < len(seq); i++ {
-			mix.add(classify(seq[i-1], seq[i]))
-		}
+		mix = mix.plus(globalPatternFile(fa))
+	}
+	return mix
+}
+
+// globalPatternFile computes one file's global transition mix.
+func globalPatternFile(fa *FileAccesses) PatternMix {
+	var mix PatternMix
+	seq := make([]*Interval, 0, len(fa.Intervals))
+	for i := range fa.Intervals {
+		seq = append(seq, &fa.Intervals[i])
+	}
+	sortByTime(seq)
+	for i := 1; i < len(seq); i++ {
+		mix.add(classify(seq[i-1], seq[i]))
 	}
 	return mix
 }
@@ -224,6 +249,12 @@ func ClassifyHighLevel(fas []*FileAccesses, opts HLOptions) []HighLevelPattern {
 		}
 		sums = append(sums, summarize(fa, o.MetaSizeThreshold))
 	}
+	return groupSummaries(sums, o.WorldSize)
+}
+
+// groupSummaries is the family-grouping tail of ClassifyHighLevel, shared
+// with the parallel path: sums must be in fas (path-sorted) order.
+func groupSummaries(sums []*fileSummary, worldSize int) []HighLevelPattern {
 	families := make(map[string][]*fileSummary)
 	for _, s := range sums {
 		families[familyKey(s.path)] = append(families[familyKey(s.path)], s)
@@ -241,7 +272,7 @@ func ClassifyHighLevel(fas []*FileAccesses, opts HLOptions) []HighLevelPattern {
 		// series, repeated multi-file dumps); each concurrent cluster is
 		// one phase and classifies independently.
 		for _, cluster := range clusterByTime(families[k]) {
-			p := classifyFamily(cluster, o.WorldSize)
+			p := classifyFamily(cluster, worldSize)
 			if seen[p.Key()] {
 				for i := range out {
 					if out[i].Key() == p.Key() {

@@ -6,6 +6,7 @@
 package experiments
 
 import (
+	"errors"
 	"fmt"
 	"sort"
 	"strings"
@@ -40,27 +41,65 @@ func TestScale() Scale {
 type Results struct {
 	Scale   Scale
 	ByName  map[string]*harness.Result
-	Ordered []string // registry order
+	Ordered []string // registry order (successful configurations only)
+	// Errs holds per-configuration failures, keyed by configuration name.
+	// A failed configuration is absent from ByName/Ordered but does not
+	// abort the rest of the registry.
+	Errs map[string]error
 }
 
-// RunAll executes every configuration of the registry at the given scale.
-func RunAll(s Scale) (*Results, error) {
-	out := &Results{Scale: s, ByName: make(map[string]*harness.Result)}
-	for _, cfg := range apps.Registry() {
+// RunAll executes every configuration of the registry at the given scale,
+// fanning the runs out over a GOMAXPROCS-sized worker pool (each simulated
+// job is fully self-contained — own file system, MPI world and seeded RNG —
+// so concurrent runs produce byte-identical traces to serial ones). Unlike
+// the historical fail-fast behavior, every configuration runs to completion:
+// per-configuration failures are collected in Results.Errs and joined into
+// the returned error, alongside the partial Results for the configurations
+// that succeeded.
+func RunAll(s Scale) (*Results, error) { return RunAllWorkers(s, 0) }
+
+// RunAllWorkers is RunAll with an explicit worker pool size (<= 0 selects
+// runtime.GOMAXPROCS, 1 runs serially in registry order).
+func RunAllWorkers(s Scale, workers int) (*Results, error) {
+	return runConfigs(apps.Registry(), s, workers)
+}
+
+// runConfigs is the sharded registry sweep behind RunAllWorkers, split out
+// so tests can drive it with fabricated (including failing) configurations.
+func runConfigs(cfgs []*apps.Config, s Scale, workers int) (*Results, error) {
+	type slot struct {
+		res *harness.Result
+		err error
+	}
+	slots := make([]slot, len(cfgs))
+	core.ParallelFor(len(cfgs), workers, func(i int) {
+		cfg := cfgs[i]
 		res, err := apps.Execute(cfg, apps.Options{
 			Ranks: s.Ranks, PPN: s.PPN, Seed: s.Seed, Semantics: pfs.Strong,
 			Params: s.Params,
 		})
+		if err == nil {
+			err = res.Err()
+		}
 		if err != nil {
-			return nil, fmt.Errorf("experiments: %s: %w", cfg.Name(), err)
+			slots[i] = slot{err: fmt.Errorf("experiments: %s: %w", cfg.Name(), err)}
+			return
 		}
-		if err := res.Err(); err != nil {
-			return nil, fmt.Errorf("experiments: %s: %w", cfg.Name(), err)
+		slots[i] = slot{res: res}
+	})
+
+	out := &Results{Scale: s, ByName: make(map[string]*harness.Result), Errs: make(map[string]error)}
+	var errs []error
+	for i, cfg := range cfgs { // registry order, regardless of completion order
+		if slots[i].err != nil {
+			out.Errs[cfg.Name()] = slots[i].err
+			errs = append(errs, slots[i].err)
+			continue
 		}
-		out.ByName[cfg.Name()] = res
+		out.ByName[cfg.Name()] = slots[i].res
 		out.Ordered = append(out.Ordered, cfg.Name())
 	}
-	return out, nil
+	return out, errors.Join(errs...)
 }
 
 // RunOne executes a single configuration at the given scale.

@@ -1,10 +1,15 @@
 package experiments
 
 import (
+	"fmt"
+	"reflect"
 	"strings"
 	"testing"
 
+	"repro/internal/apps"
+	"repro/internal/harness"
 	"repro/internal/pfs"
+	"repro/internal/recorder"
 )
 
 func testResults(t *testing.T) *Results {
@@ -167,5 +172,91 @@ func TestMetaTableArtifact(t *testing.T) {
 	}
 	if marked != 2 {
 		t.Fatalf("%d marked rows, want 2:\n%s", marked, s)
+	}
+}
+
+// failingConfig fabricates a registry entry whose every rank errors out —
+// the fixture for the no-fail-fast contract of runConfigs.
+func failingConfig(name string) *apps.Config {
+	return &apps.Config{
+		App: name, Library: "POSIX",
+		Description: "synthetic always-failing configuration",
+		Run: func(ctx *harness.Ctx, p apps.Params) error {
+			return fmt.Errorf("%s: injected failure on rank %d", name, ctx.Rank)
+		},
+	}
+}
+
+func okConfig(name string) *apps.Config {
+	return &apps.Config{
+		App: name, Library: "POSIX",
+		Description: "synthetic trivial configuration",
+		Run: func(ctx *harness.Ctx, p apps.Params) error {
+			fd, err := ctx.OS.Open("/ok-"+name, recorder.OCreat|recorder.OWronly, 0o644)
+			if err != nil {
+				return err
+			}
+			if _, err := ctx.OS.Pwrite(fd, make([]byte, 64), int64(ctx.Rank)*64); err != nil {
+				return err
+			}
+			return ctx.OS.Close(fd)
+		},
+	}
+}
+
+// TestRunConfigsCollectsAllErrors pins the fail-fast fix: one failing
+// configuration must not abort the sweep, and *every* failure must be
+// reported, not just the first.
+func TestRunConfigsCollectsAllErrors(t *testing.T) {
+	cfgs := []*apps.Config{
+		failingConfig("FailAlpha"),
+		okConfig("OkOne"),
+		failingConfig("FailBeta"),
+		okConfig("OkTwo"),
+	}
+	for _, workers := range []int{1, 3} {
+		r, err := runConfigs(cfgs, TestScale(), workers)
+		if err == nil {
+			t.Fatalf("workers=%d: expected a joined error", workers)
+		}
+		for _, want := range []string{"FailAlpha: injected failure", "FailBeta: injected failure"} {
+			if !strings.Contains(err.Error(), want) {
+				t.Errorf("workers=%d: joined error missing %q:\n%v", workers, want, err)
+			}
+		}
+		if len(r.Errs) != 2 || r.Errs["FailAlpha"] == nil || r.Errs["FailBeta"] == nil {
+			t.Fatalf("workers=%d: Errs = %v", workers, r.Errs)
+		}
+		// Survivors keep registry order and carry real traces.
+		if len(r.Ordered) != 2 || r.Ordered[0] != "OkOne" || r.Ordered[1] != "OkTwo" {
+			t.Fatalf("workers=%d: Ordered = %v", workers, r.Ordered)
+		}
+		for _, name := range r.Ordered {
+			if r.ByName[name].Trace.NumRecords() == 0 {
+				t.Errorf("workers=%d: %s has an empty trace", workers, name)
+			}
+		}
+	}
+}
+
+// TestRunAllWorkersMatchesSerial checks that the parallel registry sweep
+// produces byte-identical traces to the serial one (each run is a
+// self-contained deterministic simulation).
+func TestRunAllWorkersMatchesSerial(t *testing.T) {
+	serial, err := RunAllWorkers(TestScale(), 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	par, err := RunAllWorkers(TestScale(), 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(serial.Ordered, par.Ordered) {
+		t.Fatalf("Ordered differs:\n%v\n%v", serial.Ordered, par.Ordered)
+	}
+	for _, name := range serial.Ordered {
+		if !reflect.DeepEqual(serial.ByName[name].Trace, par.ByName[name].Trace) {
+			t.Errorf("%s: parallel trace differs from serial", name)
+		}
 	}
 }

@@ -150,6 +150,9 @@ func DecodeRankStream(r io.Reader) (rank int, records []Record, err error) {
 	if err != nil {
 		return 0, nil, err
 	}
+	if urank > 1<<20 {
+		return 0, nil, fmt.Errorf("recorder: rank %d out of range", urank)
+	}
 	count, err := binary.ReadUvarint(br)
 	if err != nil {
 		return 0, nil, err
@@ -157,7 +160,14 @@ func DecodeRankStream(r io.Reader) (rank int, records []Record, err error) {
 	if count > 1<<30 {
 		return 0, nil, fmt.Errorf("recorder: record count %d too large", count)
 	}
-	records = make([]Record, 0, count)
+	// The declared count is attacker-controlled until the stream is fully
+	// read: preallocate a bounded amount and let append grow the rest, so a
+	// forged header can't demand gigabytes up front.
+	prealloc := count
+	if prealloc > 4096 {
+		prealloc = 4096
+	}
+	records = make([]Record, 0, prealloc)
 	for i := uint64(0); i < count; i++ {
 		var rec Record
 		rec.Rank = int32(urank)
@@ -179,6 +189,9 @@ func DecodeRankStream(r io.Reader) (rank int, records []Record, err error) {
 			return 0, nil, err
 		}
 		rec.TEnd = rec.TStart + dur
+		if rec.TEnd < rec.TStart {
+			return 0, nil, fmt.Errorf("recorder: record %d duration overflows", i)
+		}
 		if rec.Path, err = readStr(); err != nil {
 			return 0, nil, err
 		}

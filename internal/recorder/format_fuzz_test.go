@@ -1,0 +1,88 @@
+package recorder
+
+import (
+	"bytes"
+	"reflect"
+	"testing"
+)
+
+// fuzzSeedStreams encodes a few representative rank streams so the fuzzer
+// starts from valid wire format (the same bytes SaveDir writes) rather than
+// discovering the magic by brute force.
+func fuzzSeedStreams(f *testing.F) [][]byte {
+	f.Helper()
+	streams := [][]Record{
+		nil, // empty stream
+		{
+			mkRecord(0, LayerPOSIX, FuncOpen, 1, 2, "/ckpt0001", int64(OCreat|OWronly), 0o644, 3),
+			mkRecord(0, LayerPOSIX, FuncPwrite, 3, 9, "", 3, 4096, 0, 4096),
+			mkRecord(0, LayerPOSIX, FuncFsync, 10, 30, "", 3),
+			mkRecord(0, LayerPOSIX, FuncClose, 31, 32, "", 3),
+		},
+		{
+			// Repeated paths exercise the string-table back references;
+			// the HDF5 record exercises the layer byte and Path2.
+			mkRecord(2, LayerHDF5, FuncH5Dwrite, 1, 90, "/data.h5"),
+			mkRecord(2, LayerPOSIX, FuncStat, 2, 3, "/data.h5"),
+			mkRecord(2, LayerPOSIX, FuncRename, 4, 5, "/data.h5"),
+			mkRecord(2, LayerPOSIX, FuncWrite, 6, 7, "", 5, -1),
+		},
+	}
+	var out [][]byte
+	for i, rs := range streams {
+		var buf bytes.Buffer
+		if err := EncodeRankStream(&buf, i, rs); err != nil {
+			f.Fatalf("encoding seed %d: %v", i, err)
+		}
+		out = append(out, buf.Bytes())
+	}
+	return out
+}
+
+// FuzzLoadRecord is the decode-hardening gate: arbitrary bytes must
+// either decode cleanly or return an error — never panic, never allocate
+// absurdly from a forged header. Anything that does decode must survive an
+// encode/decode round trip unchanged (the decoder accepts only canonical
+// meaning, even if the wire encoding differs).
+func FuzzLoadRecord(f *testing.F) {
+	for _, seed := range fuzzSeedStreams(f) {
+		f.Add(seed)
+		// Truncations and corruptions of valid streams reach the deep
+		// error paths (mid-record EOF, bad string refs) immediately.
+		f.Add(seed[:len(seed)/2])
+		if len(seed) > 10 {
+			mut := bytes.Clone(seed)
+			mut[9] ^= 0xff
+			f.Add(mut)
+		}
+	}
+	f.Add([]byte("SEMFSTR1"))                             // header only
+	f.Add([]byte("SEMFSTR2\x00\x00"))                     // wrong magic
+	f.Add([]byte("SEMFSTR1\x00\xff\xff\xff\xff\xff\x7f")) // huge count
+	f.Add([]byte("SEMFSTR1\xff\xff\xff\xff\xff\xff\x01")) // huge rank
+	f.Add([]byte("SEMFSTR1\x00\x01\x00\x05\xff\xff\x7f")) // nonsense record
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		rank, records, err := DecodeRankStream(bytes.NewReader(data))
+		if err != nil {
+			return
+		}
+		var buf bytes.Buffer
+		if err := EncodeRankStream(&buf, rank, records); err != nil {
+			t.Fatalf("re-encoding decoded stream: %v", err)
+		}
+		rank2, records2, err := DecodeRankStream(&buf)
+		if err != nil {
+			t.Fatalf("decoding re-encoded stream: %v", err)
+		}
+		if rank2 != rank || len(records2) != len(records) {
+			t.Fatalf("round trip changed shape: rank %d->%d, %d->%d records",
+				rank, rank2, len(records), len(records2))
+		}
+		for i := range records {
+			if !reflect.DeepEqual(records[i], records2[i]) {
+				t.Fatalf("round trip changed record %d:\n%+v\n%+v", i, records[i], records2[i])
+			}
+		}
+	})
+}

@@ -112,7 +112,11 @@ func (r *RunReport) Render() string {
 			fns = append(fns, f)
 		}
 		sort.Slice(fns, func(i, j int) bool {
-			return r.FuncCounts[l][fns[i]] > r.FuncCounts[l][fns[j]]
+			ci, cj := r.FuncCounts[l][fns[i]], r.FuncCounts[l][fns[j]]
+			if ci != cj {
+				return ci > cj
+			}
+			return fns[i].String() < fns[j].String() // total order: ties came from a map
 		})
 		fmt.Fprintf(&b, "  [%s]", l)
 		for _, f := range fns {
@@ -134,7 +138,12 @@ func (r *RunReport) Render() string {
 	b.WriteString("\nPer-file summary (top 20 by traffic):\n")
 	files := append([]FileReport(nil), r.Files...)
 	sort.Slice(files, func(i, j int) bool {
-		return files[i].BytesWritten+files[i].BytesRead > files[j].BytesWritten+files[j].BytesRead
+		ti := files[i].BytesWritten + files[i].BytesRead
+		tj := files[j].BytesWritten + files[j].BytesRead
+		if ti != tj {
+			return ti > tj
+		}
+		return files[i].Path < files[j].Path // sort.Slice is unstable; keep ties total
 	})
 	if len(files) > 20 {
 		files = files[:20]

@@ -1,0 +1,36 @@
+package semfs_test
+
+import (
+	"testing"
+
+	semfs "repro"
+	"repro/internal/analysistest"
+)
+
+// TestAnalyzeParallelMatchesSerial is the acceptance gate of the parallel
+// analysis engine: for every application configuration of the registry, the
+// concurrent path must reproduce the serial paper analysis exactly —
+// verdicts, per-file conflict lists, Table 3 patterns, Figure 1 mixes, the
+// Figure 3 census and the metadata dependencies. The serial path is the
+// oracle; any divergence is a bug in the parallel engine, never tolerated
+// as "close enough".
+func TestAnalyzeParallelMatchesSerial(t *testing.T) {
+	for _, name := range semfs.Applications() {
+		name := name
+		t.Run(name, func(t *testing.T) {
+			t.Parallel()
+			analysistest.CheckApp(t, name, semfs.RunOptions{Ranks: 16, PPN: 2, Seed: 1})
+		})
+	}
+}
+
+// TestAnalyzeParallelMatchesSerialAcrossSeeds varies the simulation seed on
+// a conflict-heavy and a metadata-heavy configuration so the equivalence
+// claim is not an artifact of one particular trace.
+func TestAnalyzeParallelMatchesSerialAcrossSeeds(t *testing.T) {
+	for _, name := range []string{"FLASH-nofbs", "MACSio-Silo"} {
+		for seed := uint64(1); seed <= 3; seed++ {
+			analysistest.CheckApp(t, name, semfs.RunOptions{Ranks: 8, PPN: 2, Seed: seed}, 0, 3)
+		}
+	}
+}

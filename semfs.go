@@ -20,6 +20,7 @@ package semfs
 
 import (
 	"fmt"
+	"sync"
 
 	"repro/internal/apps"
 	"repro/internal/core"
@@ -152,7 +153,8 @@ type Analysis struct {
 	MetaSignature core.MetaSignature
 }
 
-// Analyze runs the full paper analysis over a trace.
+// Analyze runs the full paper analysis over a trace. This is the serial
+// reference path — the oracle AnalyzeParallel is tested against.
 func Analyze(tr *recorder.Trace) *Analysis {
 	fas := core.Extract(tr)
 	sessionByFile, _ := core.AnalyzeConflicts(tr, pfs.Session)
@@ -169,6 +171,47 @@ func Analyze(tr *recorder.Trace) *Analysis {
 		MetaConflicts:    metaConflicts,
 		MetaSignature:    core.MetaSignatureOf(metaConflicts),
 	}
+}
+
+// AnalyzeParallel runs the same analysis concurrently: the trace is
+// extracted once with rank-sharded extraction, then the five independent
+// passes (session conflicts, commit conflicts, pattern classification +
+// Figure 1 mixes, metadata census, metadata-conflict detection) fan out as
+// a scatter/gather, each internally sharded across a pool of the given
+// size (workers <= 0 selects runtime.GOMAXPROCS). Every merge is
+// deterministic, so the result is identical to Analyze — the serial path
+// stays the correctness oracle (see TestAnalyzeParallelMatchesSerial).
+func AnalyzeParallel(tr *recorder.Trace, workers int) *Analysis {
+	fas := core.ExtractParallel(tr, workers)
+	an := &Analysis{}
+	var sessionSig, commitSig core.ConflictSignature
+
+	var wg sync.WaitGroup
+	pass := func(f func()) {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			f()
+		}()
+	}
+	pass(func() { an.SessionConflicts, sessionSig = core.ConflictsForFiles(fas, pfs.Session, workers) })
+	pass(func() { an.CommitConflicts, commitSig = core.ConflictsForFiles(fas, pfs.Commit, workers) })
+	pass(func() {
+		an.Patterns = core.ClassifyHighLevelParallel(fas, core.HLOptions{WorldSize: tr.Meta.Ranks}, workers)
+		an.Global = core.GlobalPatternParallel(fas, workers)
+		an.Local = core.LocalPatternParallel(fas, workers)
+	})
+	pass(func() { an.Census = core.MetadataCensusParallel(tr, workers) })
+	pass(func() {
+		an.MetaConflicts = core.DetectMetadataConflictsParallel(tr, workers)
+		an.MetaSignature = core.MetaSignatureOf(an.MetaConflicts)
+	})
+	wg.Wait()
+
+	// The verdict is derived from the signatures the conflict passes already
+	// computed; serial Analyze re-detects, arriving at the same values.
+	an.Verdict = core.VerdictFrom(sessionSig, commitSig)
+	return an
 }
 
 // ValidateSynchronization performs the §5.2 check: every conflict detected
