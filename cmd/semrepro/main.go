@@ -8,41 +8,92 @@
 // Usage:
 //
 //	semrepro -out results -ranks 64 -ppn 8
+//	semrepro -out results -chaos -chaos-seeds 1,2,3
+//
+// Exit codes: 0 = everything completed, 1 = hard failure (no configuration
+// produced a result, or an artifact could not be written), 2 = usage error,
+// 3 = the run completed in degraded form — some configurations failed, or
+// the chaos sweep found invariant violations.
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
 	"path/filepath"
+	"strconv"
 	"strings"
 
 	"repro/internal/experiments"
+	"repro/internal/faults"
 	"repro/internal/report"
 )
 
-func main() {
+const (
+	exitOK       = 0
+	exitError    = 1 // nothing usable was produced
+	exitUsage    = 2
+	exitDegraded = 3 // partial results or chaos violations
+)
+
+func main() { os.Exit(run()) }
+
+func run() int {
 	var (
-		out     = flag.String("out", "results", "output directory")
-		ranks   = flag.Int("ranks", 64, "ranks per run")
-		ppn     = flag.Int("ppn", 8, "processes per node")
-		seed    = flag.Uint64("seed", 1, "simulation seed")
-		only    = flag.String("only", "", "generate a single artifact: table1|table3|table4|table5|figure1|figure2|figure3|verdicts")
-		workers = flag.Int("workers", 0, "how many configurations to run concurrently: 0 = GOMAXPROCS, 1 = serial")
+		out        = flag.String("out", "results", "output directory")
+		ranks      = flag.Int("ranks", 64, "ranks per run")
+		ppn        = flag.Int("ppn", 8, "processes per node")
+		seed       = flag.Uint64("seed", 1, "simulation seed")
+		only       = flag.String("only", "", "generate a single artifact: table1|table3|table4|table5|figure1|figure2|figure3|verdicts")
+		workers    = flag.Int("workers", 0, "how many configurations to run concurrently: 0 = GOMAXPROCS, 1 = serial")
+		timeout    = flag.Duration("task-timeout", 0, "abandon any single configuration after this long (0 = no limit)")
+		chaos      = flag.Bool("chaos", false, "run the fault-injection chaos sweep instead of the paper artifacts")
+		chaosSeeds = flag.String("chaos-seeds", "1", "comma-separated schedule seeds for -chaos")
 	)
 	flag.Parse()
 
 	if err := os.MkdirAll(*out, 0o755); err != nil {
-		fatal(err)
+		fmt.Fprintln(os.Stderr, "semrepro:", err)
+		return exitError
 	}
 	scale := experiments.Scale{Ranks: *ranks, PPN: *ppn, Seed: *seed}
 
+	hardErr := false
 	write := func(name, content string) {
 		path := filepath.Join(*out, name)
 		if err := os.WriteFile(path, []byte(content), 0o644); err != nil {
-			fatal(err)
+			fmt.Fprintln(os.Stderr, "semrepro:", err)
+			hardErr = true
+			return
 		}
 		fmt.Println("wrote", path)
+	}
+
+	if *chaos {
+		seeds, err := parseSeeds(*chaosSeeds)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "semrepro: -chaos-seeds:", err)
+			return exitUsage
+		}
+		rep, err := faults.Sweep(context.Background(), faults.SweepOptions{
+			Seeds:   seeds,
+			Workers: *workers,
+		})
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "semrepro: chaos:", err)
+			return exitError
+		}
+		text := faults.RenderSweep(rep)
+		fmt.Print(text)
+		write("chaos_report.txt", text)
+		if hardErr {
+			return exitError
+		}
+		if len(rep.Violations) > 0 {
+			return exitDegraded
+		}
+		return exitOK
 	}
 
 	want := func(name string) bool { return *only == "" || *only == name }
@@ -54,18 +105,25 @@ func main() {
 		write("table5_configurations.txt", experiments.Table5())
 	}
 	if *only == "table1" || *only == "table5" {
-		return
+		if hardErr {
+			return exitError
+		}
+		return exitOK
 	}
 
 	fmt.Printf("running all %d configurations at %d ranks...\n", 25, *ranks)
-	results, err := experiments.RunAllWorkers(scale, *workers)
+	results, err := experiments.RunAllCtx(context.Background(), scale,
+		experiments.SweepOptions{Workers: *workers, TaskTimeout: *timeout})
+	degraded := false
 	if err != nil {
-		// Failures are per-configuration: report every one, then keep going
-		// with whatever succeeded rather than losing the whole sweep.
+		// Failures are per-configuration and already wrapped with the failing
+		// configuration's name: report every one, then keep going with
+		// whatever succeeded rather than losing the whole sweep.
 		fmt.Fprintln(os.Stderr, "semrepro: some configurations failed:\n", err)
 		if len(results.Ordered) == 0 {
-			os.Exit(1)
+			return exitError
 		}
+		degraded = true
 	}
 
 	if want("table3") {
@@ -96,13 +154,40 @@ func main() {
 	if want("reports") || *only == "" {
 		// Per-run detailed reports, like the paper's published artifact.
 		if err := os.MkdirAll(filepath.Join(*out, "reports"), 0o755); err != nil {
-			fatal(err)
+			fmt.Fprintln(os.Stderr, "semrepro:", err)
+			return exitError
 		}
 		for _, name := range results.Ordered {
 			rep := report.BuildRunReport(results.ByName[name].Trace)
 			write(filepath.Join("reports", sanitize(name)+".txt"), rep.Render())
 		}
 	}
+	if hardErr {
+		return exitError
+	}
+	if degraded {
+		return exitDegraded
+	}
+	return exitOK
+}
+
+func parseSeeds(s string) ([]uint64, error) {
+	var seeds []uint64
+	for _, part := range strings.Split(s, ",") {
+		part = strings.TrimSpace(part)
+		if part == "" {
+			continue
+		}
+		v, err := strconv.ParseUint(part, 10, 64)
+		if err != nil {
+			return nil, fmt.Errorf("bad seed %q: %w", part, err)
+		}
+		seeds = append(seeds, v)
+	}
+	if len(seeds) == 0 {
+		return nil, fmt.Errorf("no seeds in %q", s)
+	}
+	return seeds, nil
 }
 
 func sanitize(name string) string {
@@ -112,9 +197,4 @@ func sanitize(name string) string {
 		}
 		return r
 	}, name)
-}
-
-func fatal(err error) {
-	fmt.Fprintln(os.Stderr, "semrepro:", err)
-	os.Exit(1)
 }

@@ -89,8 +89,13 @@ type Options struct {
 	// FS optionally supplies a pre-built file system (e.g. one with the
 	// BurstFS UnorderedSameProcess quirk); when nil one is created with
 	// the given Semantics.
-	FS     *pfs.FileSystem
-	Params Params
+	FS *pfs.FileSystem
+	// Injector, if set, registers a fault injector on the file system for
+	// the traced run only — the untraced Setup phase stages its data
+	// fault-free, so every injected fault lands in the application's own
+	// I/O protocol (see internal/faults).
+	Injector pfs.FaultInjector
+	Params   Params
 }
 
 // Execute stages and runs a configuration, returning the traced result.
@@ -116,6 +121,7 @@ func Execute(cfg *Config, opts Options) (*harness.Result, error) {
 			return nil, fmt.Errorf("apps: %s setup: %w", cfg.Name(), err)
 		}
 	}
+	hc.Injector = opts.Injector
 	res, err := harness.Run(hc, cfg.Meta(p), func(ctx *harness.Ctx) error {
 		return cfg.Run(ctx, p)
 	})

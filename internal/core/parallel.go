@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"runtime"
 	"sync"
 	"sync/atomic"
@@ -17,6 +18,12 @@ import (
 // index-addressed slots and are folded back in input (rank or path) order,
 // so the output is identical to the serial pass — the serial functions
 // remain the correctness oracle the equivalence tests compare against.
+//
+// Every entry point has a Ctx variant that threads a context.Context through
+// the pool: cancellation is observed at task boundaries (no index is handed
+// out after the context is done; in-flight tasks finish), and the variant
+// returns ctx.Err() instead of a partial result. The plain names wrap the
+// Ctx variants with context.Background().
 
 // EffectiveWorkers normalizes a requested worker count: values <= 0 select
 // runtime.GOMAXPROCS(0), everything else is used as given.
@@ -33,15 +40,30 @@ func EffectiveWorkers(workers int) int {
 // items. fn must be safe to call concurrently for distinct indices; the
 // call returns once every index has been processed.
 func ParallelFor(n, workers int, fn func(i int)) {
+	ParallelForCtx(context.Background(), n, workers, fn)
+}
+
+// ParallelForCtx is ParallelFor under a context: the pool stops handing out
+// indices once ctx is done and returns ctx.Err(). Cancellation is checked
+// before every index — one in-flight fn per worker may still complete, so a
+// cancelled call stops within one task boundary. A nil error means every
+// index ran.
+func ParallelForCtx(ctx context.Context, n, workers int, fn func(i int)) error {
+	if err := ctx.Err(); err != nil {
+		return err
+	}
 	workers = EffectiveWorkers(workers)
 	if workers > n {
 		workers = n
 	}
 	if workers <= 1 {
 		for i := 0; i < n; i++ {
+			if err := ctx.Err(); err != nil {
+				return err
+			}
 			fn(i)
 		}
-		return
+		return nil
 	}
 	var next atomic.Int64
 	next.Store(-1)
@@ -50,7 +72,7 @@ func ParallelFor(n, workers int, fn func(i int)) {
 	for w := 0; w < workers; w++ {
 		go func() {
 			defer wg.Done()
-			for {
+			for ctx.Err() == nil {
 				i := int(next.Add(1))
 				if i >= n {
 					return
@@ -60,6 +82,7 @@ func ParallelFor(n, workers int, fn func(i int)) {
 		}()
 	}
 	wg.Wait()
+	return ctx.Err()
 }
 
 // ExtractParallel is the sharded Extract: rank streams are processed
@@ -68,16 +91,27 @@ func ParallelFor(n, workers int, fn func(i int)) {
 // per-file §5.2 annotation pass is then sharded across files. Output is
 // identical to Extract.
 func ExtractParallel(tr *recorder.Trace, workers int) []*FileAccesses {
+	fas, _ := ExtractParallelCtx(context.Background(), tr, workers)
+	return fas
+}
+
+// ExtractParallelCtx is ExtractParallel under a context.
+func ExtractParallelCtx(ctx context.Context, tr *recorder.Trace, workers int) ([]*FileAccesses, error) {
 	n := len(tr.PerRank)
 	if EffectiveWorkers(workers) <= 1 || n <= 1 {
-		return Extract(tr)
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
+		return Extract(tr), nil
 	}
 	partial := make([]map[string]*FileAccesses, n)
-	ParallelFor(n, workers, func(r int) {
+	if err := ParallelForCtx(ctx, n, workers, func(r int) {
 		m := make(map[string]*FileAccesses)
 		extractRank(tr.PerRank[r], m)
 		partial[r] = m
-	})
+	}); err != nil {
+		return nil, err
+	}
 
 	merged := make(map[string]*FileAccesses)
 	for r := 0; r < n; r++ { // rank order = serial append order
@@ -94,8 +128,10 @@ func ExtractParallel(tr *recorder.Trace, workers int) []*FileAccesses {
 		}
 	}
 	out := sortedFiles(merged)
-	ParallelFor(len(out), workers, func(i int) { annotate(out[i]) })
-	return out
+	if err := ParallelForCtx(ctx, len(out), workers, func(i int) { annotate(out[i]) }); err != nil {
+		return nil, err
+	}
+	return out, nil
 }
 
 func mergeTimes(dst, src map[int32][]uint64) {
@@ -109,8 +145,16 @@ func mergeTimes(dst, src map[int32][]uint64) {
 // AnalyzeConflictsParallel and semfs.AnalyzeParallel (which reuses one
 // extraction across passes). fas must not be mutated concurrently.
 func ConflictsForFiles(fas []*FileAccesses, model pfs.Semantics, workers int) (map[string][]Conflict, ConflictSignature) {
+	byFile, sig, _ := ConflictsForFilesCtx(context.Background(), fas, model, workers)
+	return byFile, sig
+}
+
+// ConflictsForFilesCtx is ConflictsForFiles under a context.
+func ConflictsForFilesCtx(ctx context.Context, fas []*FileAccesses, model pfs.Semantics, workers int) (map[string][]Conflict, ConflictSignature, error) {
 	per := make([][]Conflict, len(fas))
-	ParallelFor(len(fas), workers, func(i int) { per[i] = DetectConflicts(fas[i], model) })
+	if err := ParallelForCtx(ctx, len(fas), workers, func(i int) { per[i] = DetectConflicts(fas[i], model) }); err != nil {
+		return nil, ConflictSignature{}, err
+	}
 	byFile := make(map[string][]Conflict)
 	var all []Conflict
 	for i, fa := range fas {
@@ -119,7 +163,7 @@ func ConflictsForFiles(fas []*FileAccesses, model pfs.Semantics, workers int) (m
 			all = append(all, per[i]...)
 		}
 	}
-	return byFile, Signature(all)
+	return byFile, Signature(all), nil
 }
 
 // AnalyzeConflictsParallel is the sharded AnalyzeConflicts.
@@ -131,37 +175,60 @@ func AnalyzeConflictsParallel(tr *recorder.Trace, model pfs.Semantics, workers i
 // sweeps scattered over a single pool (session tasks first, commit tasks
 // after, so every worker stays busy across the model boundary).
 func AnalyzeParallel(tr *recorder.Trace, workers int) Verdict {
-	fas := ExtractParallel(tr, workers)
+	v, _ := AnalyzeParallelCtx(context.Background(), tr, workers)
+	return v
+}
+
+// AnalyzeParallelCtx is AnalyzeParallel under a context: a cancelled ctx
+// stops the sweep within one per-file task boundary and returns ctx.Err().
+func AnalyzeParallelCtx(ctx context.Context, tr *recorder.Trace, workers int) (Verdict, error) {
+	fas, err := ExtractParallelCtx(ctx, tr, workers)
+	if err != nil {
+		return Verdict{}, err
+	}
 	n := len(fas)
 	per := make([][]Conflict, 2*n)
-	ParallelFor(2*n, workers, func(i int) {
+	if err := ParallelForCtx(ctx, 2*n, workers, func(i int) {
 		if i < n {
 			per[i] = DetectConflicts(fas[i], pfs.Session)
 		} else {
 			per[i] = DetectConflicts(fas[i-n], pfs.Commit)
 		}
-	})
+	}); err != nil {
+		return Verdict{}, err
+	}
 	var session, commit []Conflict
 	for i := 0; i < n; i++ {
 		session = append(session, per[i]...)
 		commit = append(commit, per[n+i]...)
 	}
-	return VerdictFrom(Signature(session), Signature(commit))
+	return VerdictFrom(Signature(session), Signature(commit)), nil
 }
 
 // MetadataCensusParallel is the sharded MetadataCensus: per-rank partial
 // censuses merged by addition (commutative, so any merge order is exact).
 func MetadataCensusParallel(tr *recorder.Trace, workers int) *Census {
+	c, _ := MetadataCensusParallelCtx(context.Background(), tr, workers)
+	return c
+}
+
+// MetadataCensusParallelCtx is MetadataCensusParallel under a context.
+func MetadataCensusParallelCtx(ctx context.Context, tr *recorder.Trace, workers int) (*Census, error) {
 	n := len(tr.PerRank)
 	if EffectiveWorkers(workers) <= 1 || n <= 1 {
-		return MetadataCensus(tr)
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
+		return MetadataCensus(tr), nil
 	}
 	partial := make([]*Census, n)
-	ParallelFor(n, workers, func(r int) {
+	if err := ParallelForCtx(ctx, n, workers, func(r int) {
 		c := &Census{Counts: make(map[string]map[recorder.Func]int)}
 		censusRank(tr.PerRank[r], c)
 		partial[r] = c
-	})
+	}); err != nil {
+		return nil, err
+	}
 	out := &Census{Counts: make(map[string]map[recorder.Func]int)}
 	for _, c := range partial {
 		for origin, m := range c.Counts {
@@ -175,7 +242,7 @@ func MetadataCensusParallel(tr *recorder.Trace, workers int) *Census {
 			}
 		}
 	}
-	return out
+	return out, nil
 }
 
 // DetectMetadataConflictsParallel is the sharded DetectMetadataConflicts:
@@ -183,12 +250,24 @@ func MetadataCensusParallel(tr *recorder.Trace, workers int) *Census {
 // per-path scans sharded across paths. The final total-order sort makes the
 // merge order immaterial.
 func DetectMetadataConflictsParallel(tr *recorder.Trace, workers int) []MetaConflict {
+	cs, _ := DetectMetadataConflictsParallelCtx(context.Background(), tr, workers)
+	return cs
+}
+
+// DetectMetadataConflictsParallelCtx is DetectMetadataConflictsParallel
+// under a context.
+func DetectMetadataConflictsParallelCtx(ctx context.Context, tr *recorder.Trace, workers int) ([]MetaConflict, error) {
 	n := len(tr.PerRank)
 	if EffectiveWorkers(workers) <= 1 || n <= 1 {
-		return DetectMetadataConflicts(tr)
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
+		return DetectMetadataConflicts(tr), nil
 	}
 	locals := make([][]metaEvent, n)
-	ParallelFor(n, workers, func(r int) { locals[r] = metaEventsRank(tr.PerRank[r]) })
+	if err := ParallelForCtx(ctx, n, workers, func(r int) { locals[r] = metaEventsRank(tr.PerRank[r]) }); err != nil {
+		return nil, err
+	}
 	events := make(map[string][]metaEvent)
 	for _, local := range locals { // rank order, as in the serial pass
 		addMetaEvents(events, local)
@@ -198,36 +277,52 @@ func DetectMetadataConflictsParallel(tr *recorder.Trace, workers int) []MetaConf
 		paths = append(paths, p)
 	}
 	per := make([][]MetaConflict, len(paths))
-	ParallelFor(len(paths), workers, func(i int) {
+	if err := ParallelForCtx(ctx, len(paths), workers, func(i int) {
 		per[i] = metaConflictsForPath(paths[i], events[paths[i]])
-	})
+	}); err != nil {
+		return nil, err
+	}
 	var out []MetaConflict
 	for _, cs := range per {
 		out = append(out, cs...)
 	}
 	sortMetaConflicts(out)
-	return out
+	return out, nil
 }
 
 // GlobalPatternParallel is the sharded GlobalPattern (per-file mixes are
 // summed; addition is commutative so the merge is exact).
 func GlobalPatternParallel(fas []*FileAccesses, workers int) PatternMix {
-	return patternParallel(fas, workers, globalPatternFile)
+	m, _ := patternParallel(context.Background(), fas, workers, globalPatternFile)
+	return m
+}
+
+// GlobalPatternParallelCtx is GlobalPatternParallel under a context.
+func GlobalPatternParallelCtx(ctx context.Context, fas []*FileAccesses, workers int) (PatternMix, error) {
+	return patternParallel(ctx, fas, workers, globalPatternFile)
 }
 
 // LocalPatternParallel is the sharded LocalPattern.
 func LocalPatternParallel(fas []*FileAccesses, workers int) PatternMix {
-	return patternParallel(fas, workers, localPatternFile)
+	m, _ := patternParallel(context.Background(), fas, workers, localPatternFile)
+	return m
 }
 
-func patternParallel(fas []*FileAccesses, workers int, file func(*FileAccesses) PatternMix) PatternMix {
+// LocalPatternParallelCtx is LocalPatternParallel under a context.
+func LocalPatternParallelCtx(ctx context.Context, fas []*FileAccesses, workers int) (PatternMix, error) {
+	return patternParallel(ctx, fas, workers, localPatternFile)
+}
+
+func patternParallel(ctx context.Context, fas []*FileAccesses, workers int, file func(*FileAccesses) PatternMix) (PatternMix, error) {
 	per := make([]PatternMix, len(fas))
-	ParallelFor(len(fas), workers, func(i int) { per[i] = file(fas[i]) })
+	if err := ParallelForCtx(ctx, len(fas), workers, func(i int) { per[i] = file(fas[i]) }); err != nil {
+		return PatternMix{}, err
+	}
 	var mix PatternMix
 	for _, m := range per {
 		mix = mix.plus(m)
 	}
-	return mix
+	return mix, nil
 }
 
 // ClassifyHighLevelParallel is the sharded ClassifyHighLevel: the per-file
@@ -236,20 +331,28 @@ func patternParallel(fas []*FileAccesses, workers int, file func(*FileAccesses) 
 // reproducing the serial family order exactly. opts.Exclude, if supplied,
 // must be safe for concurrent calls.
 func ClassifyHighLevelParallel(fas []*FileAccesses, opts HLOptions, workers int) []HighLevelPattern {
+	ps, _ := ClassifyHighLevelParallelCtx(context.Background(), fas, opts, workers)
+	return ps
+}
+
+// ClassifyHighLevelParallelCtx is ClassifyHighLevelParallel under a context.
+func ClassifyHighLevelParallelCtx(ctx context.Context, fas []*FileAccesses, opts HLOptions, workers int) ([]HighLevelPattern, error) {
 	o := opts.withDefaults()
 	slots := make([]*fileSummary, len(fas))
-	ParallelFor(len(fas), workers, func(i int) {
+	if err := ParallelForCtx(ctx, len(fas), workers, func(i int) {
 		fa := fas[i]
 		if o.Exclude(fa.Path) || len(fa.Intervals) == 0 {
 			return
 		}
 		slots[i] = summarize(fa, o.MetaSizeThreshold)
-	})
+	}); err != nil {
+		return nil, err
+	}
 	sums := make([]*fileSummary, 0, len(slots))
 	for _, s := range slots {
 		if s != nil {
 			sums = append(sums, s)
 		}
 	}
-	return groupSummaries(sums, o.WorldSize)
+	return groupSummaries(sums, o.WorldSize), nil
 }

@@ -6,10 +6,13 @@
 package experiments
 
 import (
+	"context"
 	"errors"
 	"fmt"
+	"runtime/debug"
 	"sort"
 	"strings"
+	"time"
 
 	"repro/internal/apps"
 	"repro/internal/core"
@@ -61,36 +64,59 @@ func RunAll(s Scale) (*Results, error) { return RunAllWorkers(s, 0) }
 // RunAllWorkers is RunAll with an explicit worker pool size (<= 0 selects
 // runtime.GOMAXPROCS, 1 runs serially in registry order).
 func RunAllWorkers(s Scale, workers int) (*Results, error) {
-	return runConfigs(apps.Registry(), s, workers)
+	return RunAllCtx(context.Background(), s, SweepOptions{Workers: workers})
 }
 
-// runConfigs is the sharded registry sweep behind RunAllWorkers, split out
-// so tests can drive it with fabricated (including failing) configurations.
+// SweepOptions hardens a registry sweep.
+type SweepOptions struct {
+	// Workers sizes the pool (<= 0 selects runtime.GOMAXPROCS, 1 is serial).
+	Workers int
+	// TaskTimeout, when positive, is a per-configuration wall-clock ceiling:
+	// a configuration that exceeds it fails with a timeout error while the
+	// rest of the sweep continues. The abandoned run keeps its goroutines
+	// until the simulated job drains; only its result is discarded.
+	TaskTimeout time.Duration
+}
+
+// RunAllCtx is RunAll under a context with sweep hardening: cancelling ctx
+// stops the sweep at the next configuration boundary (configurations that
+// never started are reported as cancelled in Results.Errs), a panicking
+// configuration is isolated into its own per-configuration error while the
+// others run to completion, and SweepOptions.TaskTimeout bounds each
+// configuration individually.
+func RunAllCtx(ctx context.Context, s Scale, o SweepOptions) (*Results, error) {
+	return runConfigsCtx(ctx, apps.Registry(), s, o)
+}
+
+// runConfigs is the historical sweep entry point, kept for tests that drive
+// fabricated (including failing) configurations.
 func runConfigs(cfgs []*apps.Config, s Scale, workers int) (*Results, error) {
+	return runConfigsCtx(context.Background(), cfgs, s, SweepOptions{Workers: workers})
+}
+
+// runConfigsCtx is the sharded registry sweep behind RunAllCtx.
+func runConfigsCtx(ctx context.Context, cfgs []*apps.Config, s Scale, o SweepOptions) (*Results, error) {
 	type slot struct {
-		res *harness.Result
-		err error
+		res  *harness.Result
+		err  error
+		done bool
 	}
 	slots := make([]slot, len(cfgs))
-	core.ParallelFor(len(cfgs), workers, func(i int) {
-		cfg := cfgs[i]
-		res, err := apps.Execute(cfg, apps.Options{
-			Ranks: s.Ranks, PPN: s.PPN, Seed: s.Seed, Semantics: pfs.Strong,
-			Params: s.Params,
-		})
-		if err == nil {
-			err = res.Err()
-		}
-		if err != nil {
-			slots[i] = slot{err: fmt.Errorf("experiments: %s: %w", cfg.Name(), err)}
-			return
-		}
-		slots[i] = slot{res: res}
+	ctxErr := core.ParallelForCtx(ctx, len(cfgs), o.Workers, func(i int) {
+		res, err := runCell(ctx, cfgs[i], s, o.TaskTimeout)
+		slots[i] = slot{res: res, err: err, done: true}
 	})
 
 	out := &Results{Scale: s, ByName: make(map[string]*harness.Result), Errs: make(map[string]error)}
 	var errs []error
 	for i, cfg := range cfgs { // registry order, regardless of completion order
+		if !slots[i].done {
+			// The pool stopped before this configuration started.
+			err := fmt.Errorf("experiments: %s: %w", cfg.Name(), ctxErr)
+			out.Errs[cfg.Name()] = err
+			errs = append(errs, err)
+			continue
+		}
 		if slots[i].err != nil {
 			out.Errs[cfg.Name()] = slots[i].err
 			errs = append(errs, slots[i].err)
@@ -100,6 +126,61 @@ func runConfigs(cfgs []*apps.Config, s Scale, workers int) (*Results, error) {
 		out.Ordered = append(out.Ordered, cfg.Name())
 	}
 	return out, errors.Join(errs...)
+}
+
+// execute is apps.Execute behind a seam so the sweep-hardening tests can
+// inject panicking or hanging executions without fabricating real ones.
+var execute = apps.Execute
+
+// runCell executes one configuration with panic isolation and the optional
+// per-task timeout. A panic inside the configuration (application body bugs
+// surface as rank errors already; this guards the sweep machinery itself)
+// becomes that cell's error instead of killing the whole sweep.
+func runCell(ctx context.Context, cfg *apps.Config, s Scale, timeout time.Duration) (*harness.Result, error) {
+	run := func() (res *harness.Result, err error) {
+		defer func() {
+			if rec := recover(); rec != nil {
+				res, err = nil, fmt.Errorf("experiments: %s: panic: %v\n%s", cfg.Name(), rec, debug.Stack())
+			}
+		}()
+		r, e := execute(cfg, apps.Options{
+			Ranks: s.Ranks, PPN: s.PPN, Seed: s.Seed, Semantics: pfs.Strong,
+			Params: s.Params,
+		})
+		if e == nil {
+			e = r.Err()
+		}
+		if e != nil {
+			return nil, fmt.Errorf("experiments: %s: %w", cfg.Name(), e)
+		}
+		return r, nil
+	}
+	if timeout <= 0 && ctx.Done() == nil {
+		return run()
+	}
+	type outcome struct {
+		res *harness.Result
+		err error
+	}
+	ch := make(chan outcome, 1)
+	go func() {
+		r, e := run()
+		ch <- outcome{r, e}
+	}()
+	var expired <-chan time.Time
+	if timeout > 0 {
+		t := time.NewTimer(timeout)
+		defer t.Stop()
+		expired = t.C
+	}
+	select {
+	case oc := <-ch:
+		return oc.res, oc.err
+	case <-expired:
+		return nil, fmt.Errorf("experiments: %s: timed out after %v", cfg.Name(), timeout)
+	case <-ctx.Done():
+		return nil, fmt.Errorf("experiments: %s: %w", cfg.Name(), ctx.Err())
+	}
 }
 
 // RunOne executes a single configuration at the given scale.

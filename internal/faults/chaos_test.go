@@ -1,0 +1,133 @@
+package faults
+
+import (
+	"context"
+	"errors"
+	"strings"
+	"testing"
+
+	"repro/internal/apps"
+	"repro/internal/pfs"
+)
+
+// shortApps is the quick chaos subset: cheap configurations covering POSIX
+// file-per-process, HDF5 shared-file and MPI-IO collective protocols.
+func shortApps() []string {
+	return []string{"GTC", "NWChem", "HACC-IO-MPI-IO", "FLASH-fbs"}
+}
+
+func allSemantics() []pfs.Semantics {
+	return []pfs.Semantics{pfs.Strong, pfs.Commit, pfs.Session, pfs.Eventual}
+}
+
+func TestChaosSweepShort(t *testing.T) {
+	rep, err := Sweep(context.Background(), SweepOptions{
+		Apps:      shortApps(),
+		Semantics: allSemantics(),
+		Seeds:     []uint64{1, 2},
+		Replay:    true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := len(shortApps()) * 4 * 2; len(rep.Cells) != want {
+		t.Fatalf("%d cells, want %d", len(rep.Cells), want)
+	}
+	if rep.TotalFired == 0 {
+		t.Fatal("no faults fired across the whole sweep")
+	}
+	for _, v := range rep.Violations {
+		t.Errorf("violation: %s", v)
+	}
+	out := RenderSweep(rep)
+	if !strings.Contains(out, "GTC") || !strings.Contains(out, "0 violation(s)") {
+		t.Fatalf("render:\n%s", out)
+	}
+}
+
+// TestChaosSchedulesByteIdenticalAcrossSweeps pins the acceptance contract:
+// the same sweep options reproduce the same fault schedule in every cell,
+// run after run, regardless of pool size.
+func TestChaosSchedulesByteIdenticalAcrossSweeps(t *testing.T) {
+	opts := SweepOptions{
+		Apps:      []string{"GTC", "NWChem"},
+		Semantics: allSemantics(),
+		Seeds:     []uint64{7},
+	}
+	a, err := Sweep(context.Background(), opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	opts.Workers = 1
+	b, err := Sweep(context.Background(), opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(a.Cells) != len(b.Cells) || len(a.Cells) == 0 {
+		t.Fatalf("cell counts differ: %d vs %d", len(a.Cells), len(b.Cells))
+	}
+	fp := func(cells []Cell) map[string]uint64 {
+		m := make(map[string]uint64)
+		for _, c := range cells {
+			m[c.App+"/"+c.Semantics.String()] = c.ScheduleFP
+		}
+		return m
+	}
+	fa, fb := fp(a.Cells), fp(b.Cells)
+	for k, v := range fa {
+		if fb[k] != v {
+			t.Errorf("%s: schedule fingerprint %016x != %016x across sweeps", k, v, fb[k])
+		}
+	}
+}
+
+func TestChaosSweepCancelled(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := Sweep(ctx, SweepOptions{Apps: []string{"GTC"}}); !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want Canceled", err)
+	}
+}
+
+func TestChaosSweepRestrictedKinds(t *testing.T) {
+	// A kinds restriction flows into every generated schedule: sweeping with
+	// only commit-crash faults at N=1 must fire on commit-heavy apps.
+	rep, err := Sweep(context.Background(), SweepOptions{
+		Apps:      []string{"NWChem"},
+		Semantics: []pfs.Semantics{pfs.Commit},
+		Seeds:     []uint64{1, 2, 3},
+		Kinds:     []Kind{CrashBeforeCommit, CrashAfterCommit, LostFsync},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, v := range rep.Violations {
+		t.Errorf("violation: %s", v)
+	}
+}
+
+// TestChaosFullRegistry is the full acceptance matrix: every registry
+// configuration × all four semantics under the complete fault taxonomy.
+func TestChaosFullRegistry(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full chaos matrix skipped in -short mode")
+	}
+	rep, err := Sweep(context.Background(), SweepOptions{
+		Apps:      apps.Names(),
+		Semantics: allSemantics(),
+		Seeds:     []uint64{1},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := len(apps.Names()) * 4; len(rep.Cells) != want {
+		t.Fatalf("%d cells, want %d", len(rep.Cells), want)
+	}
+	if rep.TotalFired == 0 {
+		t.Fatal("no faults fired")
+	}
+	for _, v := range rep.Violations {
+		t.Errorf("violation: %s", v)
+	}
+	t.Logf("\n%s", RenderSweep(rep))
+}

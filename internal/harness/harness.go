@@ -27,6 +27,10 @@ type Config struct {
 	SkewMaxNS int64           // max |clock skew| per rank; 0 means 10 µs
 	Cost      sim.CostModel   // zero value means sim.DefaultCostModel()
 	FS        *pfs.FileSystem // optional pre-built FS (shared across runs)
+	// Injector, if set, is registered on the file system before the run so
+	// every client operation passes through fault injection (see pfs.hooks
+	// and internal/faults).
+	Injector pfs.FaultInjector
 }
 
 func (c Config) withDefaults() Config {
@@ -125,6 +129,9 @@ func Run(cfg Config, meta recorder.Meta, body func(*Ctx) error) (*Result, error)
 	if fs == nil {
 		fs = pfs.New(pfs.Options{Semantics: cfg.Semantics, Cost: cfg.Cost})
 	}
+	if cfg.Injector != nil {
+		fs.SetInjector(cfg.Injector)
+	}
 	world := mpi.NewWorld(topo, cfg.Cost)
 	root := sim.NewRNG(cfg.Seed)
 
@@ -157,21 +164,31 @@ func Run(cfg Config, meta recorder.Meta, body func(*Ctx) error) (*Result, error)
 		wg.Add(1)
 		go func(ctx *Ctx) {
 			defer wg.Done()
+			completed := false
 			func() {
 				defer func() {
 					if rec := recover(); rec != nil {
 						errs[ctx.Rank] = fmt.Errorf("rank %d panicked: %v\n%s", ctx.Rank, rec, debug.Stack())
+						completed = false
 					}
 				}()
 				ctx.MPI.Barrier() // alignment barrier: trace time zero
 				if err := body(ctx); err != nil {
 					errs[ctx.Rank] = fmt.Errorf("rank %d: %w", ctx.Rank, err)
+					return
 				}
+				completed = true
 			}()
-			// The final barrier runs even after a panic so surviving ranks
-			// are not stranded (best effort; a panic inside a collective can
-			// still wedge the round).
-			ctx.MPI.Barrier()
+			// A failed rank may have bailed out mid-body with collectives
+			// still ahead of it (a crash fault, an exhausted retry, a
+			// panic). Detaching removes it from collective accounting so
+			// surviving ranks complete their remaining rounds instead of
+			// wedging; clean ranks meet at the final barrier as before.
+			if completed {
+				ctx.MPI.Barrier()
+			} else {
+				ctx.MPI.Detach()
+			}
 		}(ctxs[r])
 	}
 	wg.Wait()

@@ -53,10 +53,11 @@ type World struct {
 	topo sim.Topology
 	cost sim.CostModel
 
-	mu      sync.Mutex
-	queues  map[p2pKey]chan message
-	rv      *rendezvous
-	collSeq int64 // sequence number of the next collective
+	mu       sync.Mutex
+	queues   map[p2pKey]chan message
+	departed map[int]chan struct{} // closed when a rank detaches
+	rv       *rendezvous
+	collSeq  int64 // sequence number of the next collective
 }
 
 type p2pKey struct {
@@ -71,12 +72,44 @@ type message struct {
 // NewWorld creates the shared MPI state for a topology.
 func NewWorld(topo sim.Topology, cost sim.CostModel) *World {
 	w := &World{
-		topo:   topo,
-		cost:   cost,
-		queues: make(map[p2pKey]chan message),
+		topo:     topo,
+		cost:     cost,
+		queues:   make(map[p2pKey]chan message),
+		departed: make(map[int]chan struct{}),
 	}
 	w.rv = newRendezvous(topo.Ranks)
 	return w
+}
+
+// departSignal returns the channel closed when rank detaches.
+func (w *World) departSignal(rank int) chan struct{} {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	ch, ok := w.departed[rank]
+	if !ok {
+		ch = make(chan struct{})
+		w.departed[rank] = ch
+	}
+	return ch
+}
+
+// markDeparted records a rank's departure, returning false if it had
+// already departed.
+func (w *World) markDeparted(rank int) bool {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	ch, ok := w.departed[rank]
+	if !ok {
+		ch = make(chan struct{})
+		w.departed[rank] = ch
+	}
+	select {
+	case <-ch:
+		return false
+	default:
+		close(ch)
+		return true
+	}
 }
 
 // Size returns the number of ranks.
@@ -152,14 +185,47 @@ func (p *Proc) Send(dst, tag int, data []byte) {
 // Recv receives the next message from rank src with the given tag, blocking
 // until one arrives. The local clock advances to at least the sender's send
 // time plus the transfer cost (the happens-before edge).
+// A Recv on a departed (crashed/detached) sender
+// returns nil after draining anything the sender queued before dying, so a
+// surviving rank is never wedged on a dead peer.
 func (p *Proc) Recv(src, tag int) []byte {
 	ts := p.clock.Stamp()
 	q := p.world.queue(p2pKey{src: src, dst: p.rank, tag: tag})
-	m := <-q
-	p.clock.MergeAtLeast(m.clock + p.world.cost.MsgCost(int64(len(m.data))))
+	var m message
+	var ok bool
+	select {
+	case m = <-q:
+		ok = true
+	default:
+		select {
+		case m = <-q:
+			ok = true
+		case <-p.world.departSignal(src):
+			// Dead peer: take a message it sent before dying, if any.
+			select {
+			case m = <-q:
+				ok = true
+			default:
+			}
+		}
+	}
+	if ok {
+		p.clock.MergeAtLeast(m.clock + p.world.cost.MsgCost(int64(len(m.data))))
+	}
 	p.clock.Advance(p.world.cost.MsgLatency / 2)
 	p.emit(recorder.FuncMPIRecv, ts, int64(src), int64(tag), int64(len(m.data)))
 	return m.data
+}
+
+// Detach removes this rank from the job: current and future collective
+// rounds complete without it, and peers blocked in Recv on it return nil.
+// The harness detaches a rank whose body ends early (crash fault, I/O
+// error, panic) so surviving ranks are not wedged at their next collective.
+// Idempotent; must be called from outside any collective.
+func (p *Proc) Detach() {
+	if p.world.markDeparted(p.rank) {
+		p.world.rv.depart()
+	}
 }
 
 // collective runs one rendezvous: deposit data, wait for all ranks, merge

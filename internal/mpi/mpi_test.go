@@ -282,3 +282,67 @@ func TestDeterministicClocks(t *testing.T) {
 		}
 	}
 }
+
+func TestDetachReleasesCollectives(t *testing.T) {
+	// Rank 3 "crashes" after the first barrier; the survivors' remaining
+	// collectives must complete without it instead of wedging.
+	procs := runWorld(t, 4, func(p *Proc) {
+		p.Barrier()
+		if p.Rank() == 3 {
+			p.Detach()
+			return
+		}
+		p.Barrier()
+		if got := p.Allreduce(1, OpSum); got != 3 {
+			t.Errorf("rank %d: post-detach allreduce = %d, want 3", p.Rank(), got)
+		}
+		p.Barrier()
+	})
+	_ = procs
+}
+
+func TestDetachMidRoundReleasesWaiters(t *testing.T) {
+	// Ranks 0 and 1 are already blocked in a barrier when rank 2 detaches:
+	// the in-progress round must be released, not just future ones.
+	start := make(chan struct{})
+	runWorld(t, 3, func(p *Proc) {
+		if p.Rank() == 2 {
+			<-start
+			p.Detach()
+			return
+		}
+		if p.Rank() == 0 {
+			close(start) // imperfect ordering is fine; depart covers both cases
+		}
+		p.Barrier()
+	})
+}
+
+func TestRecvFromDepartedPeerReturnsNil(t *testing.T) {
+	runWorld(t, 2, func(p *Proc) {
+		if p.Rank() == 0 {
+			p.Send(1, 1, []byte("before-death"))
+			p.Detach()
+			return
+		}
+		if got := p.Recv(0, 1); !bytes.Equal(got, []byte("before-death")) {
+			t.Errorf("queued message lost: %q", got)
+		}
+		if got := p.Recv(0, 2); got != nil {
+			t.Errorf("recv from dead peer = %q, want nil", got)
+		}
+	})
+}
+
+func TestDetachIdempotent(t *testing.T) {
+	runWorld(t, 2, func(p *Proc) {
+		p.Barrier()
+		if p.Rank() == 1 {
+			p.Detach()
+			p.Detach() // double-detach must not corrupt the departed count
+			return
+		}
+		p.Barrier()
+		p.Barrier()
+	})
+}

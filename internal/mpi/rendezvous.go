@@ -8,11 +8,12 @@ import "sync"
 // a fast rank may begin the next round while slow ranks still read the
 // previous one.
 type rendezvous struct {
-	mu   sync.Mutex
-	cond *sync.Cond
-	n    int
-	cur  *round
-	seq  int64
+	mu       sync.Mutex
+	cond     *sync.Cond
+	n        int
+	departed int // ranks that left the job (crash faults, failed bodies)
+	cur      *round
+	seq      int64
 }
 
 // round is one collective instance.
@@ -43,15 +44,31 @@ func (rv *rendezvous) beginLocked() *round {
 	return rv.cur
 }
 
-func (rv *rendezvous) finishLocked(r *round) {
-	r.arrived++
-	if r.arrived == rv.n {
+// releaseLocked completes the round once every non-departed rank arrived.
+func (rv *rendezvous) releaseLocked(r *round) {
+	if !r.done && r.arrived >= rv.n-rv.departed {
 		r.done = true
 		rv.cond.Broadcast()
-		return
 	}
+}
+
+func (rv *rendezvous) finishLocked(r *round) {
+	r.arrived++
+	rv.releaseLocked(r)
 	for !r.done {
 		rv.cond.Wait()
+	}
+}
+
+// depart removes one rank from collective accounting: the in-progress round
+// (if any) and every future round complete without it. Ranks only depart
+// from outside a collective, so arrived never counts a departed rank.
+func (rv *rendezvous) depart() {
+	rv.mu.Lock()
+	defer rv.mu.Unlock()
+	rv.departed++
+	if rv.cur != nil {
+		rv.releaseLocked(rv.cur)
 	}
 }
 

@@ -139,19 +139,45 @@ func (h *Handle) Write(off int64, data []byte, now uint64) (uint64, error) {
 	if f.laminated {
 		return 0, ErrLaminated
 	}
+	act := fs.interceptLocked(OpInfo{Kind: OpWrite, Rank: h.c.rank, Path: h.path,
+		Off: off, Len: int64(len(data)), Now: now})
+	if act.CrashBefore {
+		h.c.crashLocked()
+		return 0, ErrCrashed
+	}
 	fs.stats.Writes++
 	fs.stats.BytesWritten += int64(len(data))
 	fs.serverSpan(off, int64(len(data)))
 	cost := fs.opts.Cost.IOCost(int64(len(data)))
+	if act.Transient {
+		var extra uint64
+		act, extra, _ = fs.retryTransientLocked(OpInfo{Kind: OpWrite, Rank: h.c.rank,
+			Path: h.path, Off: off, Len: int64(len(data)), Now: now})
+		cost += extra
+		if act.Transient {
+			return cost, fmt.Errorf("write %s: %w", h.path, ErrTransient)
+		}
+	}
+	if act.Torn && act.TornKeep < int64(len(data)) {
+		keep := act.TornKeep
+		if keep < 0 {
+			keep = 0
+		}
+		data = data[:keep]
+	}
 	e := extent{off: off, data: append([]byte(nil), data...), writer: int32(h.c.rank)}
 	switch fs.semFor(h.path) {
 	case Strong:
 		cost += fs.lockCostLocked(f)
-		fs.publishLocked(f, []extent{e}, now)
+		fs.publishBatchLocked(f, []extent{e}, now, act)
 	case Commit, Session:
 		h.c.pending[h.path] = append(h.c.pending[h.path], e)
 	case Eventual:
-		fs.publishLocked(f, []extent{e}, now)
+		fs.publishBatchLocked(f, []extent{e}, now, act)
+	}
+	if act.CrashAfter {
+		h.c.crashLocked()
+		return cost, ErrCrashed
 	}
 	return cost, nil
 }
@@ -174,6 +200,9 @@ func (fs *FileSystem) lockCostLocked(f *file) uint64 {
 // as zero (holes). The returned count is min(n, visibleSize-off), never
 // negative.
 func (h *Handle) Read(off, n int64, now uint64) ([]byte, uint64, error) {
+	if h.c.crashed {
+		return nil, 0, ErrCrashed
+	}
 	if h.closed {
 		return nil, 0, ErrClosed
 	}
@@ -187,9 +216,24 @@ func (h *Handle) Read(off, n int64, now uint64) ([]byte, uint64, error) {
 	if err != nil {
 		return nil, 0, err
 	}
+	act := fs.interceptLocked(OpInfo{Kind: OpRead, Rank: h.c.rank, Path: h.path,
+		Off: off, Len: n, Now: now})
+	if act.CrashBefore {
+		h.c.crashLocked()
+		return nil, 0, ErrCrashed
+	}
 	fs.stats.Reads++
 	fs.serverSpan(off, n)
 	cost := fs.opts.Cost.IOCost(n)
+	if act.Transient {
+		var extra uint64
+		act, extra, _ = fs.retryTransientLocked(OpInfo{Kind: OpRead, Rank: h.c.rank,
+			Path: h.path, Off: off, Len: n, Now: now})
+		cost += extra
+		if act.Transient {
+			return nil, cost, fmt.Errorf("read %s: %w", h.path, ErrTransient)
+		}
+	}
 	if fs.semFor(h.path) == Strong {
 		cost += fs.lockCostLocked(f)
 	}
@@ -260,23 +304,44 @@ func (h *Handle) VisibleSize(now uint64) int64 {
 // pending writes stay pending. Under strong/eventual there is nothing to
 // publish. Returns the simulated cost.
 func (h *Handle) Commit(now uint64) (uint64, error) {
+	if h.c.crashed {
+		return 0, ErrCrashed
+	}
 	if h.closed {
 		return 0, ErrClosed
 	}
 	fs := h.c.fs
 	fs.mu.Lock()
 	defer fs.mu.Unlock()
+	act := fs.interceptLocked(OpInfo{Kind: OpCommit, Rank: h.c.rank, Path: h.path, Now: now})
+	if act.CrashBefore {
+		h.c.crashLocked()
+		return 0, ErrCrashed
+	}
 	fs.stats.Commits++
 	cost := fs.opts.Cost.SyncCost
 	if fs.semFor(h.path) != Commit {
+		if act.CrashAfter {
+			h.c.crashLocked()
+			return cost, ErrCrashed
+		}
 		return cost, nil
 	}
 	f, err := fs.ensure(h.path, false)
 	if err != nil {
 		return cost, err
 	}
-	fs.publishLocked(f, h.c.pending[h.path], now)
+	if act.DropCommit {
+		// Lost fsync: the sync "succeeds" but nothing durably publishes —
+		// the silent failure mode commit-semantics protocols must tolerate.
+		return cost, nil
+	}
+	fs.publishBatchLocked(f, h.c.pending[h.path], now, act)
 	delete(h.c.pending, h.path)
+	if act.CrashAfter {
+		h.c.crashLocked()
+		return cost, ErrCrashed
+	}
 	return cost, nil
 }
 
@@ -284,12 +349,26 @@ func (h *Handle) Commit(now uint64) (uint64, error) {
 // publishes the client's pending writes (close acts as a commit, and session
 // visibility is close-to-open). Returns the simulated cost.
 func (h *Handle) Close(now uint64) (uint64, error) {
+	if h.c.crashed {
+		return 0, ErrCrashed
+	}
 	if h.closed {
 		return 0, ErrClosed
 	}
 	fs := h.c.fs
 	fs.mu.Lock()
 	defer fs.mu.Unlock()
+	act := fs.interceptLocked(OpInfo{Kind: OpClose, Rank: h.c.rank, Path: h.path, Now: now})
+	if act.CrashBefore {
+		// The process dies before close: the session never ends, pending
+		// writes are lost, and the server eventually reaps the open handle.
+		h.c.crashLocked()
+		if f, err := fs.ensure(h.path, false); err == nil && f.sharers > 0 {
+			f.sharers--
+		}
+		h.closed = true
+		return 0, ErrCrashed
+	}
 	h.closed = true
 	cost := fs.opts.Cost.CloseCost + fs.opts.Cost.MetaRPC
 	f, err := fs.ensure(h.path, false)
@@ -301,8 +380,12 @@ func (h *Handle) Close(now uint64) (uint64, error) {
 	}
 	switch fs.semFor(h.path) {
 	case Commit, Session:
-		fs.publishLocked(f, h.c.pending[h.path], now)
+		fs.publishBatchLocked(f, h.c.pending[h.path], now, act)
 		delete(h.c.pending, h.path)
+	}
+	if act.CrashAfter {
+		h.c.crashLocked()
+		return cost, ErrCrashed
 	}
 	return cost, nil
 }
@@ -376,6 +459,11 @@ func (h *Handle) Truncate(length int64) (uint64, error) {
 func (c *Client) Crash() {
 	c.fs.mu.Lock()
 	defer c.fs.mu.Unlock()
+	c.crashLocked()
+}
+
+// crashLocked is Crash for callers already holding fs.mu (fault hooks).
+func (c *Client) crashLocked() {
 	c.pending = make(map[string][]extent)
 	c.crashed = true
 }

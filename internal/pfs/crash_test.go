@@ -3,6 +3,7 @@ package pfs
 import (
 	"bytes"
 	"errors"
+	"fmt"
 	"testing"
 )
 
@@ -84,5 +85,83 @@ func TestCrashDoesNotAffectOtherClients(t *testing.T) {
 	hr := mustOpen(t, r, "/b", ORdonly, 40)
 	if got := readAll(t, hr, 0, 1, 50); !bytes.Equal(got, []byte("b")) {
 		t.Fatalf("survivor's data affected by peer crash: %q", got)
+	}
+}
+
+// TestCrashMatrix drives the full crash-visibility matrix: every crash point
+// × every consistency model × both reader-open timings. Each cell asserts
+// whether the writer's data survives the crash from that reader's point of
+// view — the table is the paper's semantics taxonomy restated as a
+// durability contract.
+//
+// Timeline per cell: writer opens at t=10, writes "DATA" at t=20, reaches
+// the crash point at t=30, dies. The early reader already holds the file
+// open at t=15; the late reader opens at t=100ms (past the eventual-model
+// propagation delay), and both read well after it.
+func TestCrashMatrix(t *testing.T) {
+	const payload = "DATA"
+	const (
+		beforeCommit = iota // write buffered, process dies before any fsync
+		afterFsync          // fsync completed, process dies before close
+		afterClose          // clean close, then the process dies
+	)
+	pointName := [...]string{"before-commit", "after-fsync", "after-close"}
+
+	// visible[point] for a reader that opens AFTER the crash.
+	openAfter := map[Semantics][3]bool{
+		Strong:   {true, true, true},   // publish-on-write: a crash loses nothing
+		Commit:   {false, true, true},  // exactly the fsynced/closed data survives
+		Session:  {false, false, true}, // fsync is not a publish; only close is
+		Eventual: {true, true, true},   // published at write, visible after delay
+	}
+	// visible[point] for a reader that was ALREADY holding the file open.
+	openBefore := map[Semantics][3]bool{
+		Strong:   {true, true, true},
+		Commit:   {false, true, true},   // no read-side filtering once published
+		Session:  {false, false, false}, // close-to-open: a stale handle never sees it
+		Eventual: {true, true, true},    // visibility is time-based, not open-based
+	}
+
+	for _, sem := range []Semantics{Strong, Commit, Session, Eventual} {
+		for p := beforeCommit; p <= afterClose; p++ {
+			for _, early := range []bool{false, true} {
+				timing, want := "open-after", openAfter[sem][p]
+				if early {
+					timing, want = "open-before", openBefore[sem][p]
+				}
+				t.Run(fmt.Sprintf("%s/%s/%s", sem, pointName[p], timing), func(t *testing.T) {
+					fs := newFS(sem)
+					w := fs.NewClient(0, 0)
+					r := fs.NewClient(1, 1)
+					h := mustOpen(t, w, "/m", OCreat|OWronly, 10)
+					var hr *Handle
+					if early {
+						hr = mustOpen(t, r, "/m", ORdonly, 15)
+					}
+					writeAll(t, h, 0, []byte(payload), 20)
+					switch p {
+					case afterFsync:
+						if _, err := h.Commit(30); err != nil {
+							t.Fatal(err)
+						}
+					case afterClose:
+						if _, err := h.Close(30); err != nil {
+							t.Fatal(err)
+						}
+					}
+					w.Crash()
+					if !early {
+						hr = mustOpen(t, r, "/m", ORdonly, 100_000_000)
+					}
+					got := readAll(t, hr, 0, int64(len(payload)), 200_000_000)
+					if want && !bytes.Equal(got, []byte(payload)) {
+						t.Fatalf("read %q, want %q to survive the crash", got, payload)
+					}
+					if !want && len(got) != 0 {
+						t.Fatalf("read %q, want the crash to lose it", got)
+					}
+				})
+			}
+		}
 	}
 }

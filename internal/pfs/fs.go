@@ -19,6 +19,7 @@ var (
 	ErrWriteOnly = errors.New("pfs: handle not open for reading")
 	ErrLaminated = errors.New("pfs: file is laminated (permanently read-only)")
 	ErrCrashed   = errors.New("pfs: client process has crashed")
+	ErrTransient = errors.New("pfs: transient I/O error (retries exhausted)")
 )
 
 // Options configures a FileSystem.
@@ -42,6 +43,10 @@ type Options struct {
 	// semantics while a shared exchange file keeps strong semantics. First
 	// matching rule wins; unmatched paths use Options.Semantics.
 	PathRules []PathRule
+	// Retry governs client-side retries of transient I/O errors (see
+	// RetryPolicy). The zero value selects 3 retries with 200 µs backoff
+	// doubling per attempt; MaxRetries < 0 disables retrying.
+	Retry RetryPolicy
 }
 
 // PathRule binds a path prefix to a consistency model.
@@ -72,6 +77,9 @@ func (o Options) withDefaults() Options {
 	}
 	if o.Cost == (sim.CostModel{}) {
 		o.Cost = sim.DefaultCostModel()
+	}
+	if o.Retry == (RetryPolicy{}) {
+		o.Retry = RetryPolicy{MaxRetries: 3, BackoffNS: 200_000, Multiplier: 2}
 	}
 	return o
 }
@@ -112,16 +120,19 @@ type Stats struct {
 	ServerRequests   []int64
 	PublishedExtents int64
 	StaleReads       int64 // reads that observed fewer bytes than the strong view held
+	Retries          int64 // transient-error retry attempts by clients
+	TransientErrors  int64 // transient failures that exhausted the retry policy
 }
 
 // FileSystem is the shared, server-side half of the PFS. Clients (one per
 // rank) are created with NewClient and hold the pending-write state.
 type FileSystem struct {
-	mu     sync.Mutex
-	opts   Options
-	files  map[string]*file
-	pubSeq uint64
-	stats  Stats
+	mu       sync.Mutex
+	opts     Options
+	files    map[string]*file
+	pubSeq   uint64
+	stats    Stats
+	injector FaultInjector // optional fault-injection hook (see hooks.go)
 }
 
 // New creates a file system with the given options.
@@ -305,6 +316,20 @@ func (fs *FileSystem) publishLocked(f *file, exts []extent, now uint64) {
 		}
 		fs.stats.PublishedExtents++
 	}
+}
+
+// publishBatchLocked publishes a batch under an (optionally perturbing)
+// fault action: the batch may be reversed (reordered publish) and its
+// publish time pushed back (delayed server-side ingest).
+func (fs *FileSystem) publishBatchLocked(f *file, exts []extent, now uint64, act FaultAction) {
+	if act.ReorderPublish && len(exts) > 1 {
+		rev := make([]extent, len(exts))
+		for i, e := range exts {
+			rev[len(exts)-1-i] = e
+		}
+		exts = rev
+	}
+	fs.publishLocked(f, exts, now+act.PublishDelay)
 }
 
 // materialize builds the visible content of [off, off+n) for a reader:

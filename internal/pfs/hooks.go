@@ -1,0 +1,157 @@
+package pfs
+
+// Fault-injection hooks. A FaultInjector registered on a FileSystem
+// intercepts every client data-path operation and may perturb it: crash the
+// process, tear a write, drop a commit, delay or reorder a publish batch, or
+// fail the operation transiently (subject to the client's RetryPolicy). The
+// injector is consulted while fs.mu is held, so implementations must not
+// call back into the file system; they should be cheap, deterministic
+// functions of their own state (see internal/faults for the seed-driven
+// implementation).
+
+// OpKind identifies one interceptable client operation.
+type OpKind int
+
+const (
+	OpWrite OpKind = iota
+	OpRead
+	OpCommit // fsync/fdatasync (Handle.Commit)
+	OpClose
+)
+
+var opKindNames = [...]string{
+	OpWrite:  "write",
+	OpRead:   "read",
+	OpCommit: "commit",
+	OpClose:  "close",
+}
+
+func (k OpKind) String() string {
+	if int(k) < len(opKindNames) {
+		return opKindNames[k]
+	}
+	return "op#" + string(rune('0'+int(k)))
+}
+
+// OpInfo describes the operation being intercepted.
+type OpInfo struct {
+	Kind OpKind
+	Rank int
+	Path string
+	Off  int64 // write/read offset
+	Len  int64 // write/read length in bytes
+	Now  uint64
+	// Attempt is 0 for the first try and counts up across transient-error
+	// retries of the same operation, letting the injector decide how many
+	// attempts fail.
+	Attempt int
+}
+
+// FaultAction tells the client how to perturb the intercepted operation. The
+// zero value leaves the operation untouched.
+type FaultAction struct {
+	// CrashBefore kills the process before the operation takes effect:
+	// pending writes are lost and the call returns ErrCrashed.
+	CrashBefore bool
+	// CrashAfter lets the operation take effect server-side, then kills the
+	// process; the call returns ErrCrashed (the process never observed the
+	// completion).
+	CrashAfter bool
+	// Torn shortens a write to TornKeep bytes (a torn/partial write: the
+	// tail of the payload never reaches the servers).
+	Torn     bool
+	TornKeep int64
+	// DropCommit makes a commit a silent no-op: the cost is paid but pending
+	// writes stay pending (a lost fsync).
+	DropCommit bool
+	// PublishDelay adds nanoseconds to the publish time of extents published
+	// by this operation — a slow data-server ingest. Visibility is affected
+	// only under time-based (eventual) semantics; order-based models assign
+	// publish sequence numbers at the same point regardless.
+	PublishDelay uint64
+	// ReorderPublish publishes this operation's pending batch in reverse
+	// order — a server applying a commit's extents out of order. Only
+	// observable when the batch self-overlaps (same-process conflicts).
+	ReorderPublish bool
+	// Transient fails the operation with a transient I/O error. The client
+	// re-consults the injector with Attempt incremented, paying backoff per
+	// its RetryPolicy, and surfaces ErrTransient once retries are exhausted.
+	Transient bool
+}
+
+// FaultInjector intercepts client operations. Implementations must be safe
+// for concurrent calls from distinct ranks and must not call back into the
+// FileSystem (the client holds fs.mu across the call).
+type FaultInjector interface {
+	Intercept(op OpInfo) FaultAction
+}
+
+// SetInjector registers (or, with nil, removes) the fault injector consulted
+// on every client data-path operation. Set it before the run starts; clients
+// read it through the shared FileSystem.
+func (fs *FileSystem) SetInjector(inj FaultInjector) {
+	fs.mu.Lock()
+	defer fs.mu.Unlock()
+	fs.injector = inj
+}
+
+// Injector returns the registered fault injector, or nil.
+func (fs *FileSystem) Injector() FaultInjector {
+	fs.mu.Lock()
+	defer fs.mu.Unlock()
+	return fs.injector
+}
+
+// RetryPolicy governs client-side handling of transient I/O errors (injected
+// by a FaultInjector, or in a real deployment returned by overloaded
+// servers): how many times an operation is retried and how the simulated
+// backoff grows between attempts.
+type RetryPolicy struct {
+	// MaxRetries is the number of retries after the first failure; < 0
+	// disables retrying entirely (the first transient failure surfaces).
+	MaxRetries int
+	// BackoffNS is the simulated backoff before the first retry.
+	BackoffNS uint64
+	// Multiplier scales the backoff after each attempt; values <= 1 keep it
+	// constant.
+	Multiplier int
+}
+
+// interceptLocked consults the injector, if any. Callers hold fs.mu.
+func (fs *FileSystem) interceptLocked(op OpInfo) FaultAction {
+	if fs.injector == nil {
+		return FaultAction{}
+	}
+	return fs.injector.Intercept(op)
+}
+
+// retryTransientLocked runs the retry loop for an operation whose first
+// attempt the injector failed: it re-consults the injector with increasing
+// Attempt numbers, accumulating exponential backoff into cost, until an
+// attempt succeeds or the policy is exhausted. It returns the final action
+// (whose Transient flag reports whether the operation ultimately failed),
+// the added cost, and the number of retries performed. Callers hold fs.mu.
+func (fs *FileSystem) retryTransientLocked(op OpInfo) (FaultAction, uint64, int) {
+	rp := fs.opts.Retry
+	backoff := rp.BackoffNS
+	var extra uint64
+	act := FaultAction{Transient: true}
+	retries := 0
+	for attempt := 1; attempt <= rp.MaxRetries; attempt++ {
+		extra += backoff
+		if rp.Multiplier > 1 {
+			backoff *= uint64(rp.Multiplier)
+		}
+		retries++
+		op.Attempt = attempt
+		act = fs.interceptLocked(op)
+		if !act.Transient {
+			break
+		}
+	}
+	fs.stats.Retries += int64(retries)
+	if act.Transient {
+		fs.stats.TransientErrors++
+	}
+	return act, extra, retries
+}

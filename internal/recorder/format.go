@@ -27,6 +27,27 @@ import (
 // assigned the next table index, and k >= 2 means table entry k-2.
 const traceMagic = "SEMFSTR1"
 
+// ErrTruncated reports a rank stream that ended mid-record — a crashed or
+// torn-off writer. DecodeRankStream returns it alongside every record
+// decoded before the cut, so callers can degrade gracefully instead of
+// discarding the salvageable prefix (see LoadDirLenient).
+var ErrTruncated = errors.New("recorder: trace stream truncated")
+
+// truncated reports whether err is a short-read condition (the stream ended
+// before the declared content did).
+func truncated(err error) bool {
+	return errors.Is(err, io.EOF) || errors.Is(err, io.ErrUnexpectedEOF)
+}
+
+// decodeFail wraps a mid-stream decode error, converting short reads into
+// ErrTruncated with the salvage position attached.
+func decodeFail(nrecords int, err error) error {
+	if truncated(err) {
+		return fmt.Errorf("%w after %d records", ErrTruncated, nrecords)
+	}
+	return err
+}
+
 // EncodeRankStream writes one rank's records to w.
 func EncodeRankStream(w io.Writer, rank int, records []Record) error {
 	bw := bufio.NewWriter(w)
@@ -104,12 +125,16 @@ func EncodeRankStream(w io.Writer, rank int, records []Record) error {
 	return bw.Flush()
 }
 
-// DecodeRankStream reads one rank's records from r.
+// DecodeRankStream reads one rank's records from r. On a short read it
+// returns every record decoded before the cut together with an error
+// wrapping ErrTruncated; on other corruption it likewise returns the valid
+// prefix alongside the error. Strict callers treat any error as fatal;
+// degraded-mode callers keep the salvaged records.
 func DecodeRankStream(r io.Reader) (rank int, records []Record, err error) {
 	br := bufio.NewReader(r)
 	magic := make([]byte, len(traceMagic))
 	if _, err = io.ReadFull(br, magic); err != nil {
-		return 0, nil, fmt.Errorf("recorder: reading magic: %w", err)
+		return 0, nil, fmt.Errorf("recorder: reading magic: %w", decodeFail(0, err))
 	}
 	if string(magic) != traceMagic {
 		return 0, nil, fmt.Errorf("recorder: bad magic %q", magic)
@@ -148,14 +173,14 @@ func DecodeRankStream(r io.Reader) (rank int, records []Record, err error) {
 
 	urank, err := binary.ReadUvarint(br)
 	if err != nil {
-		return 0, nil, err
+		return 0, nil, decodeFail(0, err)
 	}
 	if urank > 1<<20 {
 		return 0, nil, fmt.Errorf("recorder: rank %d out of range", urank)
 	}
 	count, err := binary.ReadUvarint(br)
 	if err != nil {
-		return 0, nil, err
+		return int(urank), nil, decodeFail(0, err)
 	}
 	if count > 1<<30 {
 		return 0, nil, fmt.Errorf("recorder: record count %d too large", count)
@@ -173,43 +198,43 @@ func DecodeRankStream(r io.Reader) (rank int, records []Record, err error) {
 		rec.Rank = int32(urank)
 		layer, err := br.ReadByte()
 		if err != nil {
-			return 0, nil, err
+			return int(urank), records, decodeFail(len(records), err)
 		}
 		rec.Layer = Layer(layer)
 		fn, err := binary.ReadUvarint(br)
 		if err != nil {
-			return 0, nil, err
+			return int(urank), records, decodeFail(len(records), err)
 		}
 		rec.Func = Func(fn)
 		if rec.TStart, err = binary.ReadUvarint(br); err != nil {
-			return 0, nil, err
+			return int(urank), records, decodeFail(len(records), err)
 		}
 		dur, err := binary.ReadUvarint(br)
 		if err != nil {
-			return 0, nil, err
+			return int(urank), records, decodeFail(len(records), err)
 		}
 		rec.TEnd = rec.TStart + dur
 		if rec.TEnd < rec.TStart {
-			return 0, nil, fmt.Errorf("recorder: record %d duration overflows", i)
+			return int(urank), records, fmt.Errorf("recorder: record %d duration overflows", i)
 		}
 		if rec.Path, err = readStr(); err != nil {
-			return 0, nil, err
+			return int(urank), records, decodeFail(len(records), err)
 		}
 		if rec.Path2, err = readStr(); err != nil {
-			return 0, nil, err
+			return int(urank), records, decodeFail(len(records), err)
 		}
 		nargs, err := binary.ReadUvarint(br)
 		if err != nil {
-			return 0, nil, err
+			return int(urank), records, decodeFail(len(records), err)
 		}
 		if nargs > 64 {
-			return 0, nil, fmt.Errorf("recorder: %d args too many", nargs)
+			return int(urank), records, fmt.Errorf("recorder: %d args too many", nargs)
 		}
 		if nargs > 0 {
 			rec.Args = make([]int64, nargs)
 			for j := range rec.Args {
 				if rec.Args[j], err = binary.ReadVarint(br); err != nil {
-					return 0, nil, err
+					return int(urank), records, decodeFail(len(records), err)
 				}
 			}
 		}
@@ -285,4 +310,85 @@ func LoadDir(dir string) (*Trace, error) {
 
 func rankFileName(rank int) string {
 	return fmt.Sprintf("rank_%05d.rec", rank)
+}
+
+// Salvage reports how a degraded-mode load went: how many rank streams
+// loaded fully, how many were truncated but partially recovered, and how
+// many were unreadable, plus the record counts behind the analysis that
+// follows. It is the "what survived" half of LoadDirLenient's contract.
+type Salvage struct {
+	Ranks      int // rank streams the metadata declares
+	Full       int // streams decoded end-to-end
+	Truncated  int // streams cut mid-record; valid prefix recovered
+	Unreadable int // streams missing or corrupt beyond salvage
+	Records    int // total records loaded
+	Salvaged   int // records recovered from truncated/corrupt streams
+	// Errs holds one error per degraded stream, wrapped with the file name.
+	Errs []error
+}
+
+// Degraded reports whether anything less than a full load happened.
+func (s *Salvage) Degraded() bool { return s.Truncated > 0 || s.Unreadable > 0 }
+
+func (s *Salvage) String() string {
+	return fmt.Sprintf("salvage: %d/%d streams full, %d truncated, %d unreadable; %d records (%d salvaged)",
+		s.Full, s.Ranks, s.Truncated, s.Unreadable, s.Records, s.Salvaged)
+}
+
+// LoadDirLenient is the degraded-mode LoadDir: instead of aborting on the
+// first truncated or corrupt rank stream, it keeps every record that decodes
+// cleanly — the valid prefix of a truncated stream, nothing from an
+// unreadable one — and reports what was lost in the Salvage. It fails only
+// when the metadata is unusable or not a single record survives, so an
+// analysis pipeline fed a damaged trace degrades instead of dying.
+func LoadDirLenient(dir string) (*Trace, *Salvage, error) {
+	metaBytes, err := os.ReadFile(filepath.Join(dir, "trace.meta"))
+	if err != nil {
+		return nil, nil, err
+	}
+	var meta Meta
+	if err := json.Unmarshal(metaBytes, &meta); err != nil {
+		return nil, nil, fmt.Errorf("recorder: parsing trace.meta: %w", err)
+	}
+	if meta.Ranks <= 0 {
+		return nil, nil, errors.New("recorder: trace.meta has no ranks")
+	}
+	tr := &Trace{Meta: meta, PerRank: make([][]Record, meta.Ranks)}
+	sal := &Salvage{Ranks: meta.Ranks}
+	degrade := func(rank int, n int, err error) {
+		name := rankFileName(rank)
+		if n > 0 {
+			sal.Truncated++
+			sal.Salvaged += n
+		} else {
+			sal.Unreadable++
+		}
+		sal.Errs = append(sal.Errs, fmt.Errorf("%s: %w", name, err))
+	}
+	for rank := 0; rank < meta.Ranks; rank++ {
+		f, err := os.Open(filepath.Join(dir, rankFileName(rank)))
+		if err != nil {
+			degrade(rank, 0, err)
+			continue
+		}
+		gotRank, rs, derr := DecodeRankStream(f)
+		if cerr := f.Close(); derr == nil {
+			derr = cerr
+		}
+		if derr == nil && gotRank != rank {
+			derr = fmt.Errorf("holds rank %d", gotRank)
+			rs = nil // records belong to another rank; keeping them would lie
+		}
+		if derr != nil {
+			degrade(rank, len(rs), derr)
+		} else {
+			sal.Full++
+		}
+		tr.PerRank[rank] = rs
+		sal.Records += len(rs)
+	}
+	if sal.Records == 0 {
+		return nil, sal, fmt.Errorf("recorder: %s: nothing salvageable", dir)
+	}
+	return tr, sal, nil
 }

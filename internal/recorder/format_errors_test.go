@@ -2,6 +2,7 @@ package recorder
 
 import (
 	"bytes"
+	"errors"
 	"os"
 	"path/filepath"
 	"strings"
@@ -148,5 +149,133 @@ func TestFilterAndPredicateEdges(t *testing.T) {
 		if !m.IsMetadataOp() {
 			t.Errorf("%v should be a metadata op", fn)
 		}
+	}
+}
+
+func TestDecodeTruncatedSalvagesPrefix(t *testing.T) {
+	// Every truncation point must yield ErrTruncated plus the records that
+	// fully decoded before the cut — never garbage, never a panic.
+	recs := []Record{
+		mkRecord(1, LayerPOSIX, FuncOpen, 10, 20, "/salvage/path", OCreat, 0o644, 3),
+		mkRecord(1, LayerPOSIX, FuncPwrite, 30, 40, "/salvage/path", 3, 128, 0, 128),
+		mkRecord(1, LayerPOSIX, FuncClose, 50, 55, "", 3),
+	}
+	var buf bytes.Buffer
+	if err := EncodeRankStream(&buf, 1, recs); err != nil {
+		t.Fatal(err)
+	}
+	full := buf.Bytes()
+	maxSalvaged := 0
+	for cut := 0; cut < len(full); cut++ {
+		_, got, err := DecodeRankStream(bytes.NewReader(full[:cut]))
+		if !errors.Is(err, ErrTruncated) {
+			t.Fatalf("cut %d/%d: err = %v, want ErrTruncated", cut, len(full), err)
+		}
+		if len(got) > len(recs) {
+			t.Fatalf("cut %d: salvaged %d > encoded %d records", cut, len(got), len(recs))
+		}
+		for i, r := range got {
+			if r.Func != recs[i].Func || r.Path != recs[i].Path || r.TStart != recs[i].TStart {
+				t.Fatalf("cut %d: salvaged record %d = %v, want %v", cut, i, r, recs[i])
+			}
+		}
+		if len(got) > maxSalvaged {
+			maxSalvaged = len(got)
+		}
+	}
+	if maxSalvaged != len(recs)-1 {
+		t.Fatalf("max salvage across cuts = %d, want %d", maxSalvaged, len(recs)-1)
+	}
+}
+
+func TestLoadDirLenient(t *testing.T) {
+	mk := func(rank int) []Record {
+		return []Record{
+			mkRecord(rank, LayerPOSIX, FuncOpen, 10, 20, "/f", OCreat, 0o644, 3),
+			mkRecord(rank, LayerPOSIX, FuncPwrite, 30, 40, "/f", 3, 64, 0, 64),
+			mkRecord(rank, LayerPOSIX, FuncClose, 50, 55, "", 3),
+		}
+	}
+	tr := &Trace{Meta: Meta{App: "x", Ranks: 3}, PerRank: [][]Record{mk(0), mk(1), mk(2)}}
+	dir := t.TempDir()
+	if err := SaveDir(dir, tr); err != nil {
+		t.Fatal(err)
+	}
+
+	// Clean load: full everywhere, not degraded.
+	got, sal, err := LoadDirLenient(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sal.Degraded() || sal.Full != 3 || sal.Records != 9 || sal.Salvaged != 0 {
+		t.Fatalf("clean load salvage: %v", sal)
+	}
+
+	// Truncate rank 1 mid-stream and delete rank 2 entirely.
+	r1 := filepath.Join(dir, rankFileName(1))
+	data, err := os.ReadFile(r1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(r1, data[:len(data)-3], 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.Remove(filepath.Join(dir, rankFileName(2))); err != nil {
+		t.Fatal(err)
+	}
+
+	got, sal, err = LoadDirLenient(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !sal.Degraded() || sal.Full != 1 || sal.Truncated != 1 || sal.Unreadable != 1 {
+		t.Fatalf("degraded load salvage: %v", sal)
+	}
+	if sal.Salvaged == 0 || sal.Records != 3+sal.Salvaged || len(sal.Errs) != 2 {
+		t.Fatalf("degraded load counts: %v", sal)
+	}
+	if len(got.PerRank[0]) != 3 || len(got.PerRank[2]) != 0 {
+		t.Fatalf("per-rank records: %d/%d/%d",
+			len(got.PerRank[0]), len(got.PerRank[1]), len(got.PerRank[2]))
+	}
+	found := false
+	for _, e := range sal.Errs {
+		if errors.Is(e, ErrTruncated) {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("no ErrTruncated among salvage errors: %v", sal.Errs)
+	}
+	if s := sal.String(); !strings.Contains(s, "1 truncated") || !strings.Contains(s, "1 unreadable") {
+		t.Fatalf("salvage string: %q", s)
+	}
+
+	// A stream holding the wrong rank is unreadable, its records discarded.
+	var buf bytes.Buffer
+	if err := EncodeRankStream(&buf, 9, mk(9)); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(filepath.Join(dir, rankFileName(2)), buf.Bytes(), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	got, sal, err = LoadDirLenient(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sal.Unreadable != 1 || len(got.PerRank[2]) != 0 {
+		t.Fatalf("wrong-rank stream salvage: %v, rank2=%d recs", sal, len(got.PerRank[2]))
+	}
+
+	// Nothing salvageable at all → error, with counts still reported.
+	empty := t.TempDir()
+	os.WriteFile(filepath.Join(empty, "trace.meta"), []byte(`{"Ranks":2}`), 0o644)
+	_, sal, err = LoadDirLenient(empty)
+	if err == nil || sal == nil || sal.Unreadable != 2 {
+		t.Fatalf("empty dir: err=%v sal=%v", err, sal)
+	}
+	// And the hard meta failures stay hard.
+	if _, _, err := LoadDirLenient(filepath.Join(empty, "missing")); err == nil {
+		t.Fatal("missing dir accepted")
 	}
 }

@@ -19,6 +19,7 @@
 package semfs
 
 import (
+	"context"
 	"fmt"
 	"sync"
 
@@ -182,36 +183,71 @@ func Analyze(tr *recorder.Trace) *Analysis {
 // deterministic, so the result is identical to Analyze — the serial path
 // stays the correctness oracle (see TestAnalyzeParallelMatchesSerial).
 func AnalyzeParallel(tr *recorder.Trace, workers int) *Analysis {
-	fas := core.ExtractParallel(tr, workers)
+	an, _ := AnalyzeParallelCtx(context.Background(), tr, workers)
+	return an
+}
+
+// AnalyzeParallelCtx is AnalyzeParallel under a context: cancellation stops
+// every pass within one task boundary (no new per-file or per-rank task
+// starts once ctx is done) and the call returns ctx.Err() instead of a
+// partial Analysis.
+func AnalyzeParallelCtx(ctx context.Context, tr *recorder.Trace, workers int) (*Analysis, error) {
+	fas, err := core.ExtractParallelCtx(ctx, tr, workers)
+	if err != nil {
+		return nil, err
+	}
 	an := &Analysis{}
 	var sessionSig, commitSig core.ConflictSignature
 
 	var wg sync.WaitGroup
-	pass := func(f func()) {
+	errs := make([]error, 5)
+	launch := func(i int, f func() error) {
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
-			f()
+			errs[i] = f()
 		}()
 	}
-	pass(func() { an.SessionConflicts, sessionSig = core.ConflictsForFiles(fas, pfs.Session, workers) })
-	pass(func() { an.CommitConflicts, commitSig = core.ConflictsForFiles(fas, pfs.Commit, workers) })
-	pass(func() {
-		an.Patterns = core.ClassifyHighLevelParallel(fas, core.HLOptions{WorldSize: tr.Meta.Ranks}, workers)
-		an.Global = core.GlobalPatternParallel(fas, workers)
-		an.Local = core.LocalPatternParallel(fas, workers)
+	launch(0, func() (err error) {
+		an.SessionConflicts, sessionSig, err = core.ConflictsForFilesCtx(ctx, fas, pfs.Session, workers)
+		return err
 	})
-	pass(func() { an.Census = core.MetadataCensusParallel(tr, workers) })
-	pass(func() {
-		an.MetaConflicts = core.DetectMetadataConflictsParallel(tr, workers)
+	launch(1, func() (err error) {
+		an.CommitConflicts, commitSig, err = core.ConflictsForFilesCtx(ctx, fas, pfs.Commit, workers)
+		return err
+	})
+	launch(2, func() (err error) {
+		if an.Patterns, err = core.ClassifyHighLevelParallelCtx(ctx, fas, core.HLOptions{WorldSize: tr.Meta.Ranks}, workers); err != nil {
+			return err
+		}
+		if an.Global, err = core.GlobalPatternParallelCtx(ctx, fas, workers); err != nil {
+			return err
+		}
+		an.Local, err = core.LocalPatternParallelCtx(ctx, fas, workers)
+		return err
+	})
+	launch(3, func() (err error) {
+		an.Census, err = core.MetadataCensusParallelCtx(ctx, tr, workers)
+		return err
+	})
+	launch(4, func() (err error) {
+		if an.MetaConflicts, err = core.DetectMetadataConflictsParallelCtx(ctx, tr, workers); err != nil {
+			return err
+		}
 		an.MetaSignature = core.MetaSignatureOf(an.MetaConflicts)
+		return nil
 	})
 	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
+	}
 
 	// The verdict is derived from the signatures the conflict passes already
 	// computed; serial Analyze re-detects, arriving at the same values.
 	an.Verdict = core.VerdictFrom(sessionSig, commitSig)
-	return an
+	return an, nil
 }
 
 // ValidateSynchronization performs the §5.2 check: every conflict detected
@@ -236,11 +272,27 @@ func ValidateSynchronization(tr *recorder.Trace) ([]core.Conflict, error) {
 // trace. Render it with its Render method.
 func Report(tr *recorder.Trace) *report.RunReport { return report.BuildRunReport(tr) }
 
+// Trace re-exports the recorder's trace type for callers that hold loaded
+// traces without importing internal packages.
+type Trace = recorder.Trace
+
 // SaveTrace persists a trace as a directory of per-rank binary streams.
 func SaveTrace(dir string, tr *recorder.Trace) error { return recorder.SaveDir(dir, tr) }
 
 // LoadTrace loads a trace written by SaveTrace.
 func LoadTrace(dir string) (*recorder.Trace, error) { return recorder.LoadDir(dir) }
+
+// Salvage re-exports the degraded-mode load report (see LoadTraceLenient).
+type Salvage = recorder.Salvage
+
+// LoadTraceLenient loads a trace in degraded mode: truncated rank streams
+// contribute their valid prefix, unreadable ones are skipped, and the
+// Salvage reports exactly what was lost — so a damaged trace can still be
+// analyzed instead of aborting the pipeline. It fails only when the
+// metadata is unusable or no records survive at all.
+func LoadTraceLenient(dir string) (*recorder.Trace, *Salvage, error) {
+	return recorder.LoadDirLenient(dir)
+}
 
 // Ctx is the per-rank context handed to custom application bodies.
 type Ctx = harness.Ctx

@@ -1,6 +1,9 @@
 package semfs
 
 import (
+	"context"
+	"errors"
+	"os"
 	"path/filepath"
 	"testing"
 
@@ -146,5 +149,53 @@ func TestVerifyOnSessionPFSDetectsFlash(t *testing.T) {
 	}
 	if res2.Err() != nil {
 		t.Fatalf("FLASH should run clean on commit semantics: %v", res2.Err())
+	}
+}
+
+func TestAnalyzeParallelCtxCancelledAndLenientLoad(t *testing.T) {
+	res, err := Run("GTC", RunOptions{Ranks: 4, PPN: 2})
+	if err != nil || res.Err() != nil {
+		t.Fatal(err, res.Err())
+	}
+
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if an, err := AnalyzeParallelCtx(ctx, res.Trace, 4); !errors.Is(err, context.Canceled) || an != nil {
+		t.Fatalf("cancelled AnalyzeParallelCtx: %v, %v", an, err)
+	}
+	an, err := AnalyzeParallelCtx(context.Background(), res.Trace, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := Analyze(res.Trace); an.Verdict != want.Verdict {
+		t.Fatalf("ctx analysis verdict %+v != serial %+v", an.Verdict, want.Verdict)
+	}
+
+	// A trace with one truncated rank stream still loads and analyzes in
+	// degraded mode, with the loss accounted for.
+	dir := filepath.Join(t.TempDir(), "trace")
+	if err := SaveTrace(dir, res.Trace); err != nil {
+		t.Fatal(err)
+	}
+	streamPath := filepath.Join(dir, "rank_00003.rec")
+	data, err := os.ReadFile(streamPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(streamPath, data[:len(data)/2], 0o644); err != nil {
+		t.Fatal(err)
+	}
+	got, sal, err := LoadTraceLenient(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !sal.Degraded() || sal.Truncated != 1 || sal.Salvaged == 0 {
+		t.Fatalf("salvage report: %v", sal)
+	}
+	if got.NumRecords() >= res.Trace.NumRecords() || got.NumRecords() == 0 {
+		t.Fatalf("degraded trace has %d records, original %d", got.NumRecords(), res.Trace.NumRecords())
+	}
+	if da := Analyze(got); da.Census.Total() == 0 {
+		t.Fatal("degraded trace did not analyze")
 	}
 }
