@@ -16,6 +16,7 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/experiments"
+	"repro/internal/obs"
 	"repro/internal/pfs"
 	"repro/internal/recorder"
 )
@@ -325,6 +326,27 @@ func BenchmarkAnalyzeParallel(b *testing.B) {
 		b.Run(fmt.Sprintf("parallel/workers=%d", workers), func(b *testing.B) {
 			sweep(b, func(tr *recorder.Trace) *Analysis {
 				return AnalyzeParallel(tr, workers)
+			})
+		})
+	}
+
+	// Telemetry overhead: the same sweep with the obs registry disabled
+	// (every instrument short-circuits on one atomic load) versus enabled.
+	// The acceptance bar is disabled-vs-baseline within ~2%; the sub-
+	// benchmarks above run with the registry in its default enabled state,
+	// so compare "telemetry=off" here against "parallel/workers=4" there.
+	reg := obs.Default()
+	for _, on := range []bool{false, true} {
+		name := "telemetry=off"
+		if on {
+			name = "telemetry=on"
+		}
+		b.Run(name, func(b *testing.B) {
+			was := reg.Enabled()
+			reg.SetEnabled(on)
+			defer reg.SetEnabled(was)
+			sweep(b, func(tr *recorder.Trace) *Analysis {
+				return AnalyzeParallel(tr, 4)
 			})
 		})
 	}

@@ -16,17 +16,34 @@ import (
 	"os"
 
 	"repro/internal/experiments"
+	"repro/internal/obs"
 	"repro/internal/pfs"
 )
 
-func main() {
+func main() { os.Exit(run()) }
+
+func run() (code int) {
 	var (
 		ranks = flag.Int("ranks", 64, "MPI ranks")
 		ppn   = flag.Int("ppn", 8, "processes per node")
 		block = flag.Int64("block", 4096, "bytes per write")
 		ops   = flag.Int("ops", 32, "writes per rank")
+		tele  obs.CLIFlags
 	)
+	tele.Register(flag.CommandLine)
 	flag.Parse()
+	if err := tele.Start(os.Stderr); err != nil {
+		fmt.Fprintln(os.Stderr, "pfsbench:", err)
+		return 2
+	}
+	defer func() {
+		if err := tele.Flush(); err != nil {
+			fmt.Fprintln(os.Stderr, "pfsbench:", err)
+			if code == 0 {
+				code = 1
+			}
+		}
+	}()
 
 	var results []experiments.BenchResult
 	for _, workload := range experiments.PFSBenchWorkloads() {
@@ -34,7 +51,7 @@ func main() {
 			r, err := experiments.PFSBench(workload, sem, *ranks, *ppn, *block, *ops)
 			if err != nil {
 				fmt.Fprintln(os.Stderr, "pfsbench:", err)
-				os.Exit(1)
+				return 1
 			}
 			results = append(results, r)
 		}
@@ -43,4 +60,5 @@ func main() {
 	fmt.Println("\nShape to expect: strong pays one lock RPC per write (slowest on shared")
 	fmt.Println("files, especially small strided writes); commit/session skip locking;")
 	fmt.Println("file-per-process narrows the gap because there is no sharing to serialize.")
+	return 0
 }

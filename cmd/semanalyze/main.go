@@ -22,6 +22,7 @@ import (
 
 	semfs "repro"
 	"repro/internal/core"
+	"repro/internal/obs"
 	"repro/internal/pfs"
 	"repro/internal/report"
 )
@@ -35,7 +36,7 @@ const (
 
 func main() { os.Exit(run()) }
 
-func run() int {
+func run() (code int) {
 	var (
 		dir      = flag.String("trace", "", "trace directory written by semtrace")
 		validate = flag.Bool("validate", true, "validate conflict ordering against MPI happens-before")
@@ -43,12 +44,26 @@ func run() int {
 		full     = flag.Bool("report", false, "print the full per-run report (function counters, size histogram, per-file table)")
 		workers  = flag.Int("workers", 0, "analysis worker pool size: 0 = GOMAXPROCS (parallel), 1 = serial reference path")
 		lenient  = flag.Bool("lenient", false, "salvage valid records from truncated or corrupt rank streams instead of failing")
+		tele     obs.CLIFlags
 	)
+	tele.Register(flag.CommandLine)
 	flag.Parse()
 	if *dir == "" {
 		fmt.Fprintln(os.Stderr, "semanalyze: -trace is required")
 		return exitUsage
 	}
+	if err := tele.Start(os.Stderr); err != nil {
+		fmt.Fprintln(os.Stderr, "semanalyze:", err)
+		return exitUsage
+	}
+	defer func() {
+		if err := tele.Flush(); err != nil {
+			fmt.Fprintln(os.Stderr, "semanalyze:", err)
+			if code == exitClean {
+				code = exitError
+			}
+		}
+	}()
 	var (
 		tr  *semfs.Trace
 		err error

@@ -27,6 +27,7 @@ import (
 
 	"repro/internal/experiments"
 	"repro/internal/faults"
+	"repro/internal/obs"
 	"repro/internal/report"
 )
 
@@ -39,7 +40,7 @@ const (
 
 func main() { os.Exit(run()) }
 
-func run() int {
+func run() (code int) {
 	var (
 		out        = flag.String("out", "results", "output directory")
 		ranks      = flag.Int("ranks", 64, "ranks per run")
@@ -50,8 +51,22 @@ func run() int {
 		timeout    = flag.Duration("task-timeout", 0, "abandon any single configuration after this long (0 = no limit)")
 		chaos      = flag.Bool("chaos", false, "run the fault-injection chaos sweep instead of the paper artifacts")
 		chaosSeeds = flag.String("chaos-seeds", "1", "comma-separated schedule seeds for -chaos")
+		tele       obs.CLIFlags
 	)
+	tele.Register(flag.CommandLine)
 	flag.Parse()
+	if err := tele.Start(os.Stderr); err != nil {
+		fmt.Fprintln(os.Stderr, "semrepro:", err)
+		return exitUsage
+	}
+	defer func() {
+		if err := tele.Flush(); err != nil {
+			fmt.Fprintln(os.Stderr, "semrepro:", err)
+			if code == exitOK {
+				code = exitError
+			}
+		}
+	}()
 
 	if err := os.MkdirAll(*out, 0o755); err != nil {
 		fmt.Fprintln(os.Stderr, "semrepro:", err)

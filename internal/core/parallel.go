@@ -5,7 +5,9 @@ import (
 	"runtime"
 	"sync"
 	"sync/atomic"
+	"time"
 
+	"repro/internal/obs"
 	"repro/internal/pfs"
 	"repro/internal/recorder"
 )
@@ -56,7 +58,12 @@ func ParallelForCtx(ctx context.Context, n, workers int, fn func(i int)) error {
 	if workers > n {
 		workers = n
 	}
+	poolRuns.Inc()
+	poolTasks.Add(int64(n))
+	poolWorkers.Set(int64(workers))
+	poolQueue.SetMax(int64(n))
 	if workers <= 1 {
+		poolSerial.Inc()
 		for i := 0; i < n; i++ {
 			if err := ctx.Err(); err != nil {
 				return err
@@ -65,23 +72,45 @@ func ParallelForCtx(ctx context.Context, n, workers int, fn func(i int)) error {
 		}
 		return nil
 	}
+	// Utilization accounting (sum of per-worker active time over pool-size x
+	// wall) and per-worker spans are live only while telemetry is on; the
+	// task loop itself carries no instrumentation, so the disabled path adds
+	// nothing per task.
+	instrumented := obs.Default().Enabled()
+	tracer := obs.Default().Tracer()
+	start := time.Now()
+	var busyNS atomic.Int64
 	var next atomic.Int64
 	next.Store(-1)
 	var wg sync.WaitGroup
 	wg.Add(workers)
 	for w := 0; w < workers; w++ {
-		go func() {
+		go func(w int) {
 			defer wg.Done()
+			span := tracer.Start("pool-worker", "core.pool").OnLane(w + 1)
+			var t0 time.Time
+			if instrumented {
+				t0 = time.Now()
+			}
 			for ctx.Err() == nil {
 				i := int(next.Add(1))
 				if i >= n {
-					return
+					break
 				}
 				fn(i)
 			}
-		}()
+			if instrumented {
+				busyNS.Add(time.Since(t0).Nanoseconds())
+			}
+			span.End()
+		}(w)
 	}
 	wg.Wait()
+	if instrumented {
+		if wall := time.Since(start).Nanoseconds(); wall > 0 {
+			poolUtilization.Set(busyNS.Load() * 100 / (int64(workers) * wall))
+		}
+	}
 	return ctx.Err()
 }
 
@@ -97,6 +126,7 @@ func ExtractParallel(tr *recorder.Trace, workers int) []*FileAccesses {
 
 // ExtractParallelCtx is ExtractParallel under a context.
 func ExtractParallelCtx(ctx context.Context, tr *recorder.Trace, workers int) ([]*FileAccesses, error) {
+	defer startPass("extract")()
 	n := len(tr.PerRank)
 	if EffectiveWorkers(workers) <= 1 || n <= 1 {
 		if err := ctx.Err(); err != nil {
@@ -151,6 +181,7 @@ func ConflictsForFiles(fas []*FileAccesses, model pfs.Semantics, workers int) (m
 
 // ConflictsForFilesCtx is ConflictsForFiles under a context.
 func ConflictsForFilesCtx(ctx context.Context, fas []*FileAccesses, model pfs.Semantics, workers int) (map[string][]Conflict, ConflictSignature, error) {
+	defer startPass("conflicts")()
 	per := make([][]Conflict, len(fas))
 	if err := ParallelForCtx(ctx, len(fas), workers, func(i int) { per[i] = DetectConflicts(fas[i], model) }); err != nil {
 		return nil, ConflictSignature{}, err
@@ -182,6 +213,7 @@ func AnalyzeParallel(tr *recorder.Trace, workers int) Verdict {
 // AnalyzeParallelCtx is AnalyzeParallel under a context: a cancelled ctx
 // stops the sweep within one per-file task boundary and returns ctx.Err().
 func AnalyzeParallelCtx(ctx context.Context, tr *recorder.Trace, workers int) (Verdict, error) {
+	defer startPass("analyze")()
 	fas, err := ExtractParallelCtx(ctx, tr, workers)
 	if err != nil {
 		return Verdict{}, err
@@ -214,6 +246,7 @@ func MetadataCensusParallel(tr *recorder.Trace, workers int) *Census {
 
 // MetadataCensusParallelCtx is MetadataCensusParallel under a context.
 func MetadataCensusParallelCtx(ctx context.Context, tr *recorder.Trace, workers int) (*Census, error) {
+	defer startPass("census")()
 	n := len(tr.PerRank)
 	if EffectiveWorkers(workers) <= 1 || n <= 1 {
 		if err := ctx.Err(); err != nil {
@@ -257,6 +290,7 @@ func DetectMetadataConflictsParallel(tr *recorder.Trace, workers int) []MetaConf
 // DetectMetadataConflictsParallelCtx is DetectMetadataConflictsParallel
 // under a context.
 func DetectMetadataConflictsParallelCtx(ctx context.Context, tr *recorder.Trace, workers int) ([]MetaConflict, error) {
+	defer startPass("meta-conflicts")()
 	n := len(tr.PerRank)
 	if EffectiveWorkers(workers) <= 1 || n <= 1 {
 		if err := ctx.Err(); err != nil {
@@ -314,6 +348,7 @@ func LocalPatternParallelCtx(ctx context.Context, fas []*FileAccesses, workers i
 }
 
 func patternParallel(ctx context.Context, fas []*FileAccesses, workers int, file func(*FileAccesses) PatternMix) (PatternMix, error) {
+	defer startPass("patterns")()
 	per := make([]PatternMix, len(fas))
 	if err := ParallelForCtx(ctx, len(fas), workers, func(i int) { per[i] = file(fas[i]) }); err != nil {
 		return PatternMix{}, err
@@ -337,6 +372,7 @@ func ClassifyHighLevelParallel(fas []*FileAccesses, opts HLOptions, workers int)
 
 // ClassifyHighLevelParallelCtx is ClassifyHighLevelParallel under a context.
 func ClassifyHighLevelParallelCtx(ctx context.Context, fas []*FileAccesses, opts HLOptions, workers int) ([]HighLevelPattern, error) {
+	defer startPass("classify")()
 	o := opts.withDefaults()
 	slots := make([]*fileSummary, len(fas))
 	if err := ParallelForCtx(ctx, len(fas), workers, func(i int) {

@@ -17,9 +17,19 @@ import (
 	"repro/internal/apps"
 	"repro/internal/core"
 	"repro/internal/harness"
+	"repro/internal/obs"
 	"repro/internal/pfs"
 	"repro/internal/recorder"
 	"repro/internal/report"
+)
+
+// Sweep telemetry: per-configuration wall-clock histogram and outcome
+// counters, plus one span per configuration (lane 0; the worker-pool lanes
+// underneath come from core.ParallelForCtx). Names: experiments.config.*.
+var (
+	configWall   = obs.Default().Histogram("experiments.config.wall_ns")
+	configOK     = obs.Default().Counter("experiments.config.ok")
+	configFailed = obs.Default().Counter("experiments.config.failed")
 )
 
 // Scale fixes the run parameters for one reproduction pass.
@@ -138,9 +148,18 @@ var execute = apps.Execute
 // becomes that cell's error instead of killing the whole sweep.
 func runCell(ctx context.Context, cfg *apps.Config, s Scale, timeout time.Duration) (*harness.Result, error) {
 	run := func() (res *harness.Result, err error) {
+		span := obs.Default().Tracer().Start(cfg.Name(), "experiments.config")
+		start := time.Now()
 		defer func() {
 			if rec := recover(); rec != nil {
 				res, err = nil, fmt.Errorf("experiments: %s: panic: %v\n%s", cfg.Name(), rec, debug.Stack())
+			}
+			span.End()
+			configWall.Observe(time.Since(start).Nanoseconds())
+			if err != nil {
+				configFailed.Inc()
+			} else {
+				configOK.Inc()
 			}
 		}()
 		r, e := execute(cfg, apps.Options{

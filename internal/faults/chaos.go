@@ -88,6 +88,9 @@ type Cell struct {
 	ScheduleFP uint64
 	// Fired counts injections that actually fired during the run.
 	Fired int
+	// Tallies break scheduled versus fired down per fault kind (taxonomy
+	// order; empty when the cell failed before its run completed).
+	Tallies []KindTally
 	// RankErrors counts failed ranks (crashes, exhausted retries, failed
 	// verification under weak semantics).
 	RankErrors int
@@ -112,6 +115,23 @@ type Report struct {
 	Cells      []Cell
 	Violations []Violation
 	TotalFired int
+}
+
+// KindSummary aggregates the per-kind tallies over every cell of the sweep:
+// how many injections each fault kind scheduled, how many fired, and how
+// many were suppressed (the rank never reached the targeted operation).
+func (rep *Report) KindSummary() []KindTally {
+	sum := make([]KindTally, numKinds)
+	for k := Kind(0); k < numKinds; k++ {
+		sum[k].Kind = k
+	}
+	for _, c := range rep.Cells {
+		for _, t := range c.Tallies {
+			sum[t.Kind].Scheduled += t.Scheduled
+			sum[t.Kind].Fired += t.Fired
+		}
+	}
+	return sum
 }
 
 // Sweep runs the chaos matrix. The returned error is non-nil only for a
@@ -180,6 +200,7 @@ func runChaosCell(o SweepOptions, app string, appID uint64, sem pfs.Semantics, s
 		return cell, viols
 	}
 	cell.Fired = inj.Fired()
+	cell.Tallies = inj.KindTallies()
 	cell.RankErrors = len(res.Errs)
 
 	// Invariant 3: crash attribution.
@@ -293,6 +314,12 @@ func RenderSweep(rep *Report) string {
 	for _, app := range order {
 		r := byApp[app]
 		fmt.Fprintf(&b, "%-20s  %6d  %6d  %9d\n", app, r.cells, r.fired, r.rankErrs)
+	}
+	b.WriteString("\nFault kinds (scheduled vs fired; suppressed = the rank never reached\nthe targeted operation, e.g. it was already crash-killed):\n\n")
+	fmt.Fprintf(&b, "%-20s  %9s  %6s  %10s\n", "kind", "scheduled", "fired", "suppressed")
+	b.WriteString(strings.Repeat("-", 52) + "\n")
+	for _, t := range rep.KindSummary() {
+		fmt.Fprintf(&b, "%-20s  %9d  %6d  %10d\n", t.Kind, t.Scheduled, t.Fired, t.Suppressed())
 	}
 	fmt.Fprintf(&b, "\n%d cells, %d faults fired, %d violation(s)\n",
 		len(rep.Cells), rep.TotalFired, len(rep.Violations))

@@ -19,9 +19,27 @@ import (
 	"strings"
 	"sync"
 
+	"repro/internal/obs"
 	"repro/internal/pfs"
 	"repro/internal/sim"
 )
+
+// Per-kind schedule/fire telemetry on the process-wide registry
+// (faults.scheduled.<kind> / faults.fired.<kind>), alongside the injector's
+// own tallies that the chaos report renders. A scheduled injection that
+// never fires was suppressed: its rank never reached the Nth eligible
+// operation — the run was too short, or an earlier crash killed the rank.
+var (
+	scheduledCounters [numKinds]*obs.Counter
+	firedCounters     [numKinds]*obs.Counter
+)
+
+func init() {
+	for k := Kind(0); k < numKinds; k++ {
+		scheduledCounters[k] = obs.Default().Counter("faults.scheduled." + k.String())
+		firedCounters[k] = obs.Default().Counter("faults.fired." + k.String())
+	}
+}
 
 // Kind enumerates the injectable fault taxonomy (DESIGN.md, fault model).
 type Kind int
@@ -260,6 +278,10 @@ type Injector struct {
 	crashed       map[int]bool
 	events        map[int][]Event
 	fired         int
+	// scheduled/firedBy tally injections per kind; their difference is the
+	// suppressed count the chaos report breaks out.
+	scheduled [numKinds]int
+	firedBy   [numKinds]int
 }
 
 // NewInjector arms a schedule.
@@ -274,6 +296,10 @@ func NewInjector(s Schedule) *Injector {
 	for _, in := range s.Injections {
 		k := slotKey{rank: in.Rank, cls: in.Kind.class(), n: in.N}
 		inj.pending[k] = append(inj.pending[k], in)
+		if in.Kind >= 0 && in.Kind < numKinds {
+			inj.scheduled[in.Kind]++
+			scheduledCounters[in.Kind].Inc()
+		}
 	}
 	return inj
 }
@@ -343,6 +369,10 @@ func (inj *Injector) apply(in Injection, op pfs.OpInfo, act *pfs.FaultAction) {
 		}
 	}
 	inj.fired++
+	if in.Kind >= 0 && in.Kind < numKinds {
+		inj.firedBy[in.Kind]++
+		firedCounters[in.Kind].Inc()
+	}
 	inj.events[op.Rank] = append(inj.events[op.Rank], Event{
 		Rank: op.Rank, Kind: in.Kind, Op: op.Kind, Path: op.Path, Now: op.Now,
 	})
@@ -353,6 +383,31 @@ func (inj *Injector) Fired() int {
 	inj.mu.Lock()
 	defer inj.mu.Unlock()
 	return inj.fired
+}
+
+// KindTally reports, for one fault kind, how many injections the armed
+// schedule planned versus how many actually fired.
+type KindTally struct {
+	Kind      Kind
+	Scheduled int
+	Fired     int
+}
+
+// Suppressed counts scheduled injections that never fired: the target rank
+// never reached the Nth eligible operation (short run, or the rank was
+// already dead from an earlier crash injection).
+func (t KindTally) Suppressed() int { return t.Scheduled - t.Fired }
+
+// KindTallies returns the per-kind scheduled/fired counts in taxonomy
+// order, including kinds with zero scheduled injections.
+func (inj *Injector) KindTallies() []KindTally {
+	inj.mu.Lock()
+	defer inj.mu.Unlock()
+	out := make([]KindTally, numKinds)
+	for k := Kind(0); k < numKinds; k++ {
+		out[k] = KindTally{Kind: k, Scheduled: inj.scheduled[k], Fired: inj.firedBy[k]}
+	}
+	return out
 }
 
 // EventsByRank returns a copy of the fired events, per rank in firing order.

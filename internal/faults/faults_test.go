@@ -319,3 +319,69 @@ func TestEventLogStableAcrossIdenticalRuns(t *testing.T) {
 		t.Fatalf("event logs differ or empty:\n%s\nvs\n%s", a, b)
 	}
 }
+
+func TestKindTalliesScheduledFiredSuppressed(t *testing.T) {
+	// Two torn writes armed on rank 0: the first (N=1) fires on the first
+	// write, the second (N=99) targets an operation the rank never reaches
+	// and stays suppressed.
+	_, inj, w, _ := injectorFS(t, pfs.Strong,
+		Injection{Rank: 0, Kind: TornWrite, N: 1, Arg: 4},
+		Injection{Rank: 0, Kind: TornWrite, N: 99, Arg: 4})
+	h, _, err := w.Open("/f", pfs.OCreat|pfs.OWronly, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	write(t, h, 0, []byte("ABCDEFGH"), 2)
+	if _, err := h.Close(3); err != nil {
+		t.Fatal(err)
+	}
+
+	tallies := inj.KindTallies()
+	if len(tallies) != int(numKinds) {
+		t.Fatalf("KindTallies covers %d kinds, want %d", len(tallies), numKinds)
+	}
+	for i, tl := range tallies {
+		if tl.Kind != Kind(i) {
+			t.Fatalf("tallies out of taxonomy order at %d: %v", i, tl.Kind)
+		}
+		if tl.Kind == TornWrite {
+			continue
+		}
+		if tl.Scheduled != 0 || tl.Fired != 0 {
+			t.Fatalf("unexpected tally for %v: %+v", tl.Kind, tl)
+		}
+	}
+	torn := tallies[TornWrite]
+	if torn.Scheduled != 2 || torn.Fired != 1 || torn.Suppressed() != 1 {
+		t.Fatalf("torn-write tally wrong: %+v (suppressed %d)", torn, torn.Suppressed())
+	}
+}
+
+func TestKindSummaryAggregatesAndRenders(t *testing.T) {
+	rep := &Report{Cells: []Cell{
+		{App: "a", Tallies: []KindTally{{Kind: TornWrite, Scheduled: 3, Fired: 1}}},
+		{App: "b", Tallies: []KindTally{
+			{Kind: TornWrite, Scheduled: 2, Fired: 2},
+			{Kind: LostFsync, Scheduled: 1, Fired: 0},
+		}},
+		{App: "c"}, // failed cell: no tallies
+	}}
+	sum := rep.KindSummary()
+	if len(sum) != int(numKinds) {
+		t.Fatalf("summary covers %d kinds, want %d", len(sum), numKinds)
+	}
+	torn := sum[TornWrite]
+	if torn.Scheduled != 5 || torn.Fired != 3 || torn.Suppressed() != 2 {
+		t.Fatalf("aggregated torn-write tally wrong: %+v", torn)
+	}
+	if fsync := sum[LostFsync]; fsync.Scheduled != 1 || fsync.Fired != 0 {
+		t.Fatalf("aggregated lost-fsync tally wrong: %+v", fsync)
+	}
+
+	out := RenderSweep(rep)
+	for _, want := range []string{"kind", "scheduled", "suppressed", TornWrite.String(), LostFsync.String()} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("rendered sweep missing %q:\n%s", want, out)
+		}
+	}
+}

@@ -1,0 +1,121 @@
+package obs
+
+import (
+	"errors"
+	"flag"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"net/http/pprof"
+	"os"
+)
+
+// CLI plumbing shared by cmd/semanalyze, cmd/semrepro and cmd/pfsbench:
+// the -metrics / -trace-spans / -pprof flags all funnel through here so the
+// three binaries expose telemetry identically.
+
+// CLIFlags bundles the telemetry flags of the repo's binaries. Call
+// Register before flag.Parse, Start right after it, and Flush (usually
+// deferred) once the run finishes.
+type CLIFlags struct {
+	Metrics    string
+	TraceSpans string
+	Pprof      string
+}
+
+// Register installs the three flags on fs.
+func (f *CLIFlags) Register(fs *flag.FlagSet) {
+	fs.StringVar(&f.Metrics, "metrics", "",
+		`write a JSON metrics snapshot to this file on exit ("-" for stdout)`)
+	fs.StringVar(&f.TraceSpans, "trace-spans", "",
+		"write spans to this file on exit as Chrome trace_event JSON (open in chrome://tracing or Perfetto)")
+	fs.StringVar(&f.Pprof, "pprof", "",
+		`serve net/http/pprof on this address (e.g. "localhost:6060" or ":0")`)
+}
+
+// Start applies the parsed flags: resets the default registry so the
+// snapshot covers exactly this invocation, enables span collection when
+// -trace-spans was given, and starts the pprof listener when -pprof was,
+// logging its URL to w.
+func (f *CLIFlags) Start(w io.Writer) error {
+	if f.Metrics != "" {
+		Default().Reset()
+	}
+	if f.TraceSpans != "" {
+		Default().Tracer().SetEnabled(true)
+	}
+	if f.Pprof != "" {
+		addr, err := StartPprof(f.Pprof)
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(w, "pprof: http://%s/debug/pprof/\n", addr)
+	}
+	return nil
+}
+
+// Flush writes the requested telemetry files.
+func (f *CLIFlags) Flush() error {
+	var errs []error
+	if f.Metrics != "" {
+		errs = append(errs, WriteMetricsFile(f.Metrics))
+	}
+	if f.TraceSpans != "" {
+		errs = append(errs, WriteSpansFile(f.TraceSpans))
+	}
+	return errors.Join(errs...)
+}
+
+// WriteMetricsFile snapshots the default registry and writes it to path as
+// JSON ("-" writes to stdout).
+func WriteMetricsFile(path string) error {
+	b, err := Default().Snapshot().JSON()
+	if err != nil {
+		return err
+	}
+	if path == "-" {
+		_, err = os.Stdout.Write(b)
+		return err
+	}
+	if err := os.WriteFile(path, b, 0o644); err != nil {
+		return fmt.Errorf("obs: write metrics: %w", err)
+	}
+	return nil
+}
+
+// WriteSpansFile writes the default tracer's spans to path as a Chrome
+// trace_event JSON document (open in chrome://tracing or Perfetto).
+func WriteSpansFile(path string) error {
+	b, err := Default().Tracer().ChromeTraceJSON()
+	if err != nil {
+		return err
+	}
+	if err := os.WriteFile(path, b, 0o644); err != nil {
+		return fmt.Errorf("obs: write spans: %w", err)
+	}
+	return nil
+}
+
+// StartPprof serves net/http/pprof on addr (e.g. "localhost:6060") in a
+// background goroutine and returns the bound address, so callers can pass
+// ":0" and print where the profiler actually landed. The listener lives for
+// the remainder of the process.
+func StartPprof(addr string) (string, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return "", fmt.Errorf("obs: pprof listen: %w", err)
+	}
+	mux := http.NewServeMux()
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	go func() {
+		// The listener is closed only by process exit; Serve's error is
+		// uninteresting by then.
+		_ = http.Serve(ln, mux)
+	}()
+	return ln.Addr().String(), nil
+}

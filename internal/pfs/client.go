@@ -175,6 +175,8 @@ func (h *Handle) Write(off int64, data []byte, now uint64) (uint64, error) {
 	case Eventual:
 		fs.publishBatchLocked(f, []extent{e}, now, act)
 	}
+	observeOp(OpWrite, cost)
+	bytesWrittenCounter.Add(int64(len(data)))
 	if act.CrashAfter {
 		h.c.crashLocked()
 		return cost, ErrCrashed
@@ -234,16 +236,33 @@ func (h *Handle) Read(off, n int64, now uint64) ([]byte, uint64, error) {
 			return nil, cost, fmt.Errorf("read %s: %w", h.path, ErrTransient)
 		}
 	}
-	if fs.semFor(h.path) == Strong {
+	sem := fs.semFor(h.path)
+	if sem == Strong {
 		cost += fs.lockCostLocked(f)
 	}
 	visible := h.visibleLocked(now)
 	// Stale-read accounting: any published extent overlapping the request
-	// that the model hides from this reader.
+	// that the model hides from this reader. The visibility-wait gauges
+	// record how far the reader is from the strong view — under Eventual
+	// the remaining propagation delay of a hidden extent, otherwise the age
+	// of the published-but-hidden data (both in simulated ns).
+	stale := false
 	for _, e := range f.published {
 		if !visible(e) && e.off < off+n && e.end() > off {
-			fs.stats.StaleReads++
-			break
+			if !stale {
+				stale = true
+				fs.stats.StaleReads++
+				staleReadCounters[sem].Inc()
+			}
+			var wait int64
+			if sem == Eventual {
+				wait = int64(e.pubTime) + int64(fs.opts.EventualDelay) - int64(now)
+			} else {
+				wait = int64(now) - int64(e.pubTime)
+			}
+			if wait > 0 {
+				visWait[sem].SetMax(wait)
+			}
 		}
 	}
 	own := h.c.pending[h.path]
@@ -258,6 +277,7 @@ func (h *Handle) Read(off, n int64, now uint64) ([]byte, uint64, error) {
 		own = rev
 	}
 	buf, visEnd := materialize(f, off, n, visible, own)
+	observeOp(OpRead, cost)
 	avail := visEnd - off
 	if avail <= 0 {
 		return nil, cost, nil
@@ -266,6 +286,7 @@ func (h *Handle) Read(off, n int64, now uint64) ([]byte, uint64, error) {
 		avail = n
 	}
 	fs.stats.BytesRead += avail
+	bytesReadCounter.Add(avail)
 	return buf[:avail], cost, nil
 }
 
@@ -320,6 +341,7 @@ func (h *Handle) Commit(now uint64) (uint64, error) {
 	}
 	fs.stats.Commits++
 	cost := fs.opts.Cost.SyncCost
+	observeOp(OpCommit, cost)
 	if fs.semFor(h.path) != Commit {
 		if act.CrashAfter {
 			h.c.crashLocked()
@@ -371,6 +393,7 @@ func (h *Handle) Close(now uint64) (uint64, error) {
 	}
 	h.closed = true
 	cost := fs.opts.Cost.CloseCost + fs.opts.Cost.MetaRPC
+	observeOp(OpClose, cost)
 	f, err := fs.ensure(h.path, false)
 	if err != nil {
 		return cost, err

@@ -117,12 +117,17 @@ type RetryPolicy struct {
 	Multiplier int
 }
 
-// interceptLocked consults the injector, if any. Callers hold fs.mu.
+// interceptLocked consults the injector, if any, tallying every requested
+// perturbation on the obs registry (the central spot that covers any
+// FaultInjector implementation). Callers hold fs.mu.
 func (fs *FileSystem) interceptLocked(op OpInfo) FaultAction {
 	if fs.injector == nil {
 		return FaultAction{}
 	}
-	return fs.injector.Intercept(op)
+	faultIntercepts.Inc()
+	act := fs.injector.Intercept(op)
+	observeFaultAction(act)
+	return act
 }
 
 // retryTransientLocked runs the retry loop for an operation whose first
@@ -150,8 +155,10 @@ func (fs *FileSystem) retryTransientLocked(op OpInfo) (FaultAction, uint64, int)
 		}
 	}
 	fs.stats.Retries += int64(retries)
+	retryCounter.Add(int64(retries))
 	if act.Transient {
 		fs.stats.TransientErrors++
+		transientCounter.Inc()
 	}
 	return act, extra, retries
 }

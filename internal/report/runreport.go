@@ -6,6 +6,7 @@ import (
 	"strings"
 
 	"repro/internal/core"
+	"repro/internal/obs"
 	"repro/internal/pfs"
 	"repro/internal/recorder"
 )
@@ -22,8 +23,9 @@ type RunReport struct {
 	FuncCounts map[recorder.Layer]map[recorder.Func]int
 	// BytesRead/BytesWritten are POSIX-layer data totals.
 	BytesRead, BytesWritten int64
-	// SizeHistogram buckets POSIX data accesses by power-of-two size.
-	SizeHistogram map[int]int // bucket k covers [2^k, 2^(k+1))
+	// SizeHistogram buckets POSIX data accesses by power-of-two size
+	// (bucket [2^k, 2^(k+1)); zero-length accesses get a dedicated bucket).
+	SizeHistogram *obs.Histogram
 	Files         []FileReport
 }
 
@@ -45,7 +47,7 @@ func BuildRunReport(tr *recorder.Trace) *RunReport {
 		Ranks:         tr.Meta.Ranks,
 		Records:       tr.NumRecords(),
 		FuncCounts:    make(map[recorder.Layer]map[recorder.Func]int),
-		SizeHistogram: make(map[int]int),
+		SizeHistogram: obs.NewHistogram(),
 	}
 	for _, rs := range tr.PerRank {
 		for i := range rs {
@@ -74,7 +76,7 @@ func BuildRunReport(tr *recorder.Trace) *RunReport {
 				fr.BytesRead += n
 				rep.BytesRead += n
 			}
-			rep.SizeHistogram[bucketOf(n)]++
+			rep.SizeHistogram.Observe(n)
 		}
 		fr.Ranks = len(ranks)
 		fr.SessionConflicts = len(core.DetectConflicts(fa, pfs.Session))
@@ -83,15 +85,6 @@ func BuildRunReport(tr *recorder.Trace) *RunReport {
 	}
 	sort.Slice(rep.Files, func(i, j int) bool { return rep.Files[i].Path < rep.Files[j].Path })
 	return rep
-}
-
-func bucketOf(n int64) int {
-	b := 0
-	for n > 1 {
-		n >>= 1
-		b++
-	}
-	return b
 }
 
 // Render formats the report for terminals.
@@ -126,13 +119,12 @@ func (r *RunReport) Render() string {
 	}
 
 	b.WriteString("\nAccess-size histogram (POSIX data ops):\n")
-	buckets := make([]int, 0, len(r.SizeHistogram))
-	for k := range r.SizeHistogram {
-		buckets = append(buckets, k)
+	hs := r.SizeHistogram.Snapshot()
+	if hs.Zero > 0 {
+		fmt.Fprintf(&b, "  %18s  %d\n", "zero-length", hs.Zero)
 	}
-	sort.Ints(buckets)
-	for _, k := range buckets {
-		fmt.Fprintf(&b, "  [%7s, %7s)  %d\n", human(1<<k), human(1<<(k+1)), r.SizeHistogram[k])
+	for _, bk := range hs.Buckets { // occupied buckets, ascending
+		fmt.Fprintf(&b, "  [%7s, %7s)  %d\n", human(bk.Lo), human(bk.Hi), bk.N)
 	}
 
 	b.WriteString("\nPer-file summary (top 20 by traffic):\n")

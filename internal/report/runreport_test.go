@@ -5,6 +5,7 @@ import (
 	"testing"
 
 	"repro/internal/apps"
+	"repro/internal/obs"
 	"repro/internal/pfs"
 )
 
@@ -48,13 +49,42 @@ func TestRunReport(t *testing.T) {
 }
 
 func TestBucketsAndHuman(t *testing.T) {
-	if bucketOf(1) != 0 || bucketOf(2) != 1 || bucketOf(4096) != 12 || bucketOf(4097) != 12 {
-		t.Fatal("bucketOf wrong")
+	if obs.BucketOf(1) != 0 || obs.BucketOf(2) != 1 || obs.BucketOf(4096) != 12 || obs.BucketOf(4097) != 12 {
+		t.Fatal("BucketOf wrong")
+	}
+	// Zero-length accesses must not land in the [1B, 2B) bucket.
+	if obs.BucketOf(0) != -1 {
+		t.Fatalf("BucketOf(0) = %d, want -1", obs.BucketOf(0))
 	}
 	if human(512) != "512B" || human(2048) != "2.0KiB" || human(3<<20) != "3.0MiB" || human(2<<30) != "2.0GiB" {
 		t.Fatalf("human wrong: %s %s", human(2048), human(3<<20))
 	}
 	if trunc("abc", 5) != "abc" || trunc("abcdefghij", 6) != "...hij" {
 		t.Fatalf("trunc wrong: %q", trunc("abcdefghij", 6))
+	}
+}
+
+func TestHistogramRendersSortedWithZeroBucket(t *testing.T) {
+	r := &RunReport{
+		Config:        "synthetic",
+		SizeHistogram: obs.NewHistogram(),
+	}
+	// Observe out of order, including zero-length accesses.
+	for _, n := range []int64{1 << 20, 0, 17, 0, 4096, 1} {
+		r.SizeHistogram.Observe(n)
+	}
+	out := r.Render()
+	zi := strings.Index(out, "zero-length")
+	bi := strings.Index(out, "[     1B,      2B)")
+	ki := strings.Index(out, "[ 4.0KiB,  8.0KiB)")
+	mi := strings.Index(out, "[ 1.0MiB,  2.0MiB)")
+	if zi < 0 || bi < 0 || ki < 0 || mi < 0 {
+		t.Fatalf("histogram lines missing:\n%s", out)
+	}
+	if !(zi < bi && bi < ki && ki < mi) {
+		t.Fatalf("histogram lines out of order:\n%s", out)
+	}
+	if !strings.Contains(out, "zero-length  2\n") {
+		t.Fatalf("zero bucket count wrong:\n%s", out)
 	}
 }

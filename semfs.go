@@ -26,6 +26,7 @@ import (
 	"repro/internal/apps"
 	"repro/internal/core"
 	"repro/internal/harness"
+	"repro/internal/obs"
 	"repro/internal/pfs"
 	"repro/internal/recorder"
 	"repro/internal/report"
@@ -199,24 +200,31 @@ func AnalyzeParallelCtx(ctx context.Context, tr *recorder.Trace, workers int) (*
 	an := &Analysis{}
 	var sessionSig, commitSig core.ConflictSignature
 
+	// The scatter/gather fans the five passes out as named spans under one
+	// root, so a -trace-spans export shows which pass dominates the wall
+	// clock and how the passes overlap.
+	root := obs.Default().Tracer().Start("analyze", "semfs")
+	defer root.End()
 	var wg sync.WaitGroup
 	errs := make([]error, 5)
-	launch := func(i int, f func() error) {
+	launch := func(i int, name string, f func() error) {
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
+			span := root.Child(name)
 			errs[i] = f()
+			span.End()
 		}()
 	}
-	launch(0, func() (err error) {
+	launch(0, "session-conflicts", func() (err error) {
 		an.SessionConflicts, sessionSig, err = core.ConflictsForFilesCtx(ctx, fas, pfs.Session, workers)
 		return err
 	})
-	launch(1, func() (err error) {
+	launch(1, "commit-conflicts", func() (err error) {
 		an.CommitConflicts, commitSig, err = core.ConflictsForFilesCtx(ctx, fas, pfs.Commit, workers)
 		return err
 	})
-	launch(2, func() (err error) {
+	launch(2, "patterns", func() (err error) {
 		if an.Patterns, err = core.ClassifyHighLevelParallelCtx(ctx, fas, core.HLOptions{WorldSize: tr.Meta.Ranks}, workers); err != nil {
 			return err
 		}
@@ -226,11 +234,11 @@ func AnalyzeParallelCtx(ctx context.Context, tr *recorder.Trace, workers int) (*
 		an.Local, err = core.LocalPatternParallelCtx(ctx, fas, workers)
 		return err
 	})
-	launch(3, func() (err error) {
+	launch(3, "census", func() (err error) {
 		an.Census, err = core.MetadataCensusParallelCtx(ctx, tr, workers)
 		return err
 	})
-	launch(4, func() (err error) {
+	launch(4, "meta-conflicts", func() (err error) {
 		if an.MetaConflicts, err = core.DetectMetadataConflictsParallelCtx(ctx, tr, workers); err != nil {
 			return err
 		}
