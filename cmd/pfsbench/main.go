@@ -8,14 +8,18 @@
 // Usage:
 //
 //	pfsbench -ranks 64 -ops 32
+//	pfsbench -checkpoint ckptdir -resume   # replay cells a crashed run finished
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
 
+	"repro/internal/ckpt"
 	"repro/internal/experiments"
+	"repro/internal/faults"
 	"repro/internal/obs"
 	"repro/internal/pfs"
 )
@@ -24,14 +28,24 @@ func main() { os.Exit(run()) }
 
 func run() (code int) {
 	var (
-		ranks = flag.Int("ranks", 64, "MPI ranks")
-		ppn   = flag.Int("ppn", 8, "processes per node")
-		block = flag.Int64("block", 4096, "bytes per write")
-		ops   = flag.Int("ops", 32, "writes per rank")
-		tele  obs.CLIFlags
+		ranks   = flag.Int("ranks", 64, "MPI ranks")
+		ppn     = flag.Int("ppn", 8, "processes per node")
+		block   = flag.Int64("block", 4096, "bytes per write")
+		ops     = flag.Int("ops", 32, "writes per rank")
+		ckptDir = flag.String("checkpoint", "", "journal completed cells to this directory (crash-safe)")
+		resume  = flag.Bool("resume", false, "replay cells already journaled in -checkpoint instead of re-running them")
+		tele    obs.CLIFlags
 	)
 	tele.Register(flag.CommandLine)
 	flag.Parse()
+	if *resume && *ckptDir == "" {
+		fmt.Fprintln(os.Stderr, "pfsbench: -resume requires -checkpoint")
+		return 2
+	}
+	if err := faults.ArmKillPointsFromEnv(); err != nil {
+		fmt.Fprintln(os.Stderr, "pfsbench:", err)
+		return 2
+	}
 	if err := tele.Start(os.Stderr); err != nil {
 		fmt.Fprintln(os.Stderr, "pfsbench:", err)
 		return 2
@@ -45,13 +59,50 @@ func run() (code int) {
 		}
 	}()
 
+	var store *ckpt.Store
+	if *ckptDir != "" {
+		var err error
+		store, err = ckpt.Open(*ckptDir, ckpt.Manifest{
+			Kind:   "pfsbench",
+			Ranks:  *ranks,
+			PPN:    *ppn,
+			Params: fmt.Sprintf("block=%d ops=%d", *block, *ops),
+		})
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "pfsbench: -checkpoint:", err)
+			return 1
+		}
+		defer store.Close()
+	}
+
 	var results []experiments.BenchResult
 	for _, workload := range experiments.PFSBenchWorkloads() {
 		for _, sem := range pfs.AllSemantics() {
+			key := workload + "/" + sem.String()
+			if store != nil && *resume {
+				if blob, ok := store.Lookup(key); ok {
+					var r experiments.BenchResult
+					if err := json.Unmarshal(blob, &r); err == nil {
+						results = append(results, r)
+						continue
+					}
+					// Undecodable cache entry: fall through and re-run.
+				}
+			}
 			r, err := experiments.PFSBench(workload, sem, *ranks, *ppn, *block, *ops)
 			if err != nil {
 				fmt.Fprintln(os.Stderr, "pfsbench:", err)
 				return 1
+			}
+			if store != nil {
+				blob, err := json.Marshal(r)
+				if err == nil {
+					err = store.Append(key, blob)
+				}
+				if err != nil {
+					fmt.Fprintln(os.Stderr, "pfsbench: checkpoint:", err)
+					return 1
+				}
 			}
 			results = append(results, r)
 		}

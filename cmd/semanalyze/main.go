@@ -6,6 +6,12 @@
 // Usage:
 //
 //	semanalyze -trace trace/
+//	semanalyze -trace trace/ -checkpoint ckptdir -resume
+//
+// With -checkpoint, each completed analysis is journaled (keyed by the
+// trace's configuration name and content fingerprint) and -resume replays
+// the cached report — including the original exit code — without re-running
+// the analysis.
 //
 // Exit codes: 0 = clean trace, 1 = the trace could not be loaded or
 // analyzed, 2 = usage error, 3 = the analysis itself succeeded but found
@@ -14,14 +20,18 @@
 package main
 
 import (
+	"bytes"
 	"context"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"sort"
 
 	semfs "repro"
+	"repro/internal/ckpt"
 	"repro/internal/core"
+	"repro/internal/faults"
 	"repro/internal/obs"
 	"repro/internal/pfs"
 	"repro/internal/report"
@@ -44,12 +54,22 @@ func run() (code int) {
 		full     = flag.Bool("report", false, "print the full per-run report (function counters, size histogram, per-file table)")
 		workers  = flag.Int("workers", 0, "analysis worker pool size: 0 = GOMAXPROCS (parallel), 1 = serial reference path")
 		lenient  = flag.Bool("lenient", false, "salvage valid records from truncated or corrupt rank streams instead of failing")
+		ckptDir  = flag.String("checkpoint", "", "journal completed analyses to this directory (crash-safe)")
+		resume   = flag.Bool("resume", false, "replay an analysis already journaled in -checkpoint instead of re-running it")
 		tele     obs.CLIFlags
 	)
 	tele.Register(flag.CommandLine)
 	flag.Parse()
 	if *dir == "" {
 		fmt.Fprintln(os.Stderr, "semanalyze: -trace is required")
+		return exitUsage
+	}
+	if *resume && *ckptDir == "" {
+		fmt.Fprintln(os.Stderr, "semanalyze: -resume requires -checkpoint")
+		return exitUsage
+	}
+	if err := faults.ArmKillPointsFromEnv(); err != nil {
+		fmt.Fprintln(os.Stderr, "semanalyze:", err)
 		return exitUsage
 	}
 	if err := tele.Start(os.Stderr); err != nil {
@@ -81,35 +101,82 @@ func run() (code int) {
 		fmt.Fprintln(os.Stderr, "semanalyze:", err)
 		return exitError
 	}
-	fmt.Printf("trace: %s — %d ranks, %d records\n\n", tr.Meta.ConfigName(), tr.Meta.Ranks, tr.NumRecords())
 
-	if *full {
-		fmt.Println(report.BuildRunReport(tr).Render())
+	if *ckptDir == "" {
+		return analyze(os.Stdout, tr, *validate, *maxShow, *full, *workers)
+	}
+
+	// Checkpointed path: the journal key pins both the trace's identity (its
+	// configuration name plus a content fingerprint) and, via the manifest,
+	// the analysis flags that shape the output. The cached blob is one exit
+	// code byte followed by the rendered report.
+	store, err := ckpt.Open(*ckptDir, ckpt.Manifest{
+		Kind:   "semanalyze",
+		Params: fmt.Sprintf("validate=%v show=%d report=%v lenient=%v", *validate, *maxShow, *full, *lenient),
+	})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "semanalyze: -checkpoint:", err)
+		return exitError
+	}
+	defer store.Close()
+	key := fmt.Sprintf("%s@%016x", tr.Meta.ConfigName(), faults.TraceFingerprint(tr))
+
+	if *resume {
+		if blob, ok := store.Lookup(key); ok && len(blob) >= 1 {
+			os.Stdout.Write(blob[1:])
+			return int(blob[0])
+		}
+	}
+
+	var buf bytes.Buffer
+	code = analyze(&buf, tr, *validate, *maxShow, *full, *workers)
+	os.Stdout.Write(buf.Bytes())
+	if code == exitClean || code == exitConflicts {
+		// Journal only completed analyses: an error exit must re-run on
+		// resume, and a failed append must not pretend to be durable.
+		blob := append([]byte{byte(code)}, buf.Bytes()...)
+		if err := store.Append(key, blob); err != nil {
+			fmt.Fprintln(os.Stderr, "semanalyze: checkpoint:", err)
+			return exitError
+		}
+	}
+	return code
+}
+
+// analyze runs the full analysis pipeline over tr, writing the report to w.
+// Hard failures go to stderr directly — they are never part of a cached
+// report.
+func analyze(w io.Writer, tr *semfs.Trace, validate bool, maxShow int, full bool, workers int) int {
+	fmt.Fprintf(w, "trace: %s — %d ranks, %d records\n\n", tr.Meta.ConfigName(), tr.Meta.Ranks, tr.NumRecords())
+
+	if full {
+		fmt.Fprintln(w, report.BuildRunReport(tr).Render())
 	}
 
 	// The parallel engine is bit-identical to the serial path (see the
 	// serial-equivalence tests); -workers 1 keeps the reference path for
 	// debugging.
 	var an *semfs.Analysis
-	if *workers == 1 {
+	if workers == 1 {
 		an = semfs.Analyze(tr)
 	} else {
-		an, err = semfs.AnalyzeParallelCtx(context.Background(), tr, *workers)
+		var err error
+		an, err = semfs.AnalyzeParallelCtx(context.Background(), tr, workers)
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "semanalyze: %s: %v\n", tr.Meta.ConfigName(), err)
 			return exitError
 		}
 	}
 
-	fmt.Println("High-level access patterns (Table 3):")
+	fmt.Fprintln(w, "High-level access patterns (Table 3):")
 	for _, p := range an.Patterns {
-		fmt.Printf("  %-22s (%d files)\n", p.Key(), len(p.Files))
+		fmt.Fprintf(w, "  %-22s (%d files)\n", p.Key(), len(p.Files))
 	}
 	gc, gm, gr := an.Global.Pct()
 	lc, lm, lr := an.Local.Pct()
-	fmt.Printf("\nAccess-pattern mix (Figure 1):\n")
-	fmt.Printf("  global: %5.1f%% consecutive, %5.1f%% monotonic, %5.1f%% random\n", gc, gm, gr)
-	fmt.Printf("  local:  %5.1f%% consecutive, %5.1f%% monotonic, %5.1f%% random\n", lc, lm, lr)
+	fmt.Fprintf(w, "\nAccess-pattern mix (Figure 1):\n")
+	fmt.Fprintf(w, "  global: %5.1f%% consecutive, %5.1f%% monotonic, %5.1f%% random\n", gc, gm, gr)
+	fmt.Fprintf(w, "  local:  %5.1f%% consecutive, %5.1f%% monotonic, %5.1f%% random\n", lc, lm, lr)
 
 	conflictsFound := 0
 	printConflicts := func(model string, byFile map[string][]core.Conflict) {
@@ -121,52 +188,52 @@ func run() (code int) {
 		}
 		conflictsFound += total
 		sort.Strings(paths) // map order would make repeated runs diff
-		fmt.Printf("\nConflicts under %s semantics: %d\n", model, total)
+		fmt.Fprintf(w, "\nConflicts under %s semantics: %d\n", model, total)
 		for _, path := range paths {
 			cs := byFile[path]
-			fmt.Printf("  %s: %d pairs\n", path, len(cs))
+			fmt.Fprintf(w, "  %s: %d pairs\n", path, len(cs))
 			for i, c := range cs {
-				if i >= *maxShow {
-					fmt.Printf("    ... %d more\n", len(cs)-i)
+				if i >= maxShow {
+					fmt.Fprintf(w, "    ... %d more\n", len(cs)-i)
 					break
 				}
-				fmt.Printf("    %v\n", c)
+				fmt.Fprintf(w, "    %v\n", c)
 			}
 		}
 	}
 	printConflicts("session", an.SessionConflicts)
 	printConflicts("commit", an.CommitConflicts)
 
-	fmt.Printf("\nMetadata operations (Figure 3): %d calls across %d distinct operations\n",
+	fmt.Fprintf(w, "\nMetadata operations (Figure 3): %d calls across %d distinct operations\n",
 		an.Census.Total(), len(an.Census.Funcs()))
 	for _, f := range an.Census.Funcs() {
-		fmt.Printf("  %-12s", f)
+		fmt.Fprintf(w, "  %-12s", f)
 		for _, origin := range an.Census.Origins() {
 			if n := an.Census.Counts[origin][f]; n > 0 {
-				fmt.Printf("  %s:%d", origin, n)
+				fmt.Fprintf(w, "  %s:%d", origin, n)
 			}
 		}
-		fmt.Println()
+		fmt.Fprintln(w)
 	}
 
 	if len(an.MetaConflicts) > 0 {
-		fmt.Printf("\nCross-process metadata dependencies (relaxed-metadata PFSs): %d\n", len(an.MetaConflicts))
+		fmt.Fprintf(w, "\nCross-process metadata dependencies (relaxed-metadata PFSs): %d\n", len(an.MetaConflicts))
 		for i, c := range an.MetaConflicts {
-			if i >= *maxShow {
-				fmt.Printf("  ... %d more\n", len(an.MetaConflicts)-i)
+			if i >= maxShow {
+				fmt.Fprintf(w, "  ... %d more\n", len(an.MetaConflicts)-i)
 				break
 			}
-			fmt.Printf("  %v\n", c)
+			fmt.Fprintf(w, "  %v\n", c)
 		}
 	} else {
-		fmt.Println("\nNo cross-process metadata dependencies (safe for relaxed-metadata PFSs).")
+		fmt.Fprintln(w, "\nNo cross-process metadata dependencies (safe for relaxed-metadata PFSs).")
 	}
 
 	// With validation on, only unsynchronized pairs (true races) trigger the
 	// conflict exit code — synchronized conflicts are the normal shape of a
 	// checkpoint protocol. Without it, any conflicting pair counts.
 	racy := conflictsFound > 0
-	if *validate {
+	if validate {
 		unordered, err := semfs.ValidateSynchronization(tr)
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "semanalyze: %s: happens-before: %v\n", tr.Meta.ConfigName(), err)
@@ -174,25 +241,25 @@ func run() (code int) {
 		}
 		racy = len(unordered) > 0
 		if len(unordered) == 0 {
-			fmt.Println("\nHappens-before validation: all conflicting pairs are synchronized (race-free)")
+			fmt.Fprintln(w, "\nHappens-before validation: all conflicting pairs are synchronized (race-free)")
 		} else {
-			fmt.Printf("\nHappens-before validation: %d UNSYNCHRONIZED pairs (data races!)\n", len(unordered))
+			fmt.Fprintf(w, "\nHappens-before validation: %d UNSYNCHRONIZED pairs (data races!)\n", len(unordered))
 			for i, c := range unordered {
-				if i >= *maxShow {
+				if i >= maxShow {
 					break
 				}
-				fmt.Printf("  %v\n", c)
+				fmt.Fprintf(w, "  %v\n", c)
 			}
 		}
 	}
 
 	v := an.Verdict
-	fmt.Printf("\nVerdict: weakest sufficient consistency model = %s\n", v.Weakest)
+	fmt.Fprintf(w, "\nVerdict: weakest sufficient consistency model = %s\n", v.Weakest)
 	if v.NeedsPerProcessOrdering {
-		fmt.Println("  (requires per-process ordering; unsafe on BurstFS-style PFSs)")
+		fmt.Fprintln(w, "  (requires per-process ordering; unsafe on BurstFS-style PFSs)")
 	}
 	if v.Weakest == pfs.Session {
-		fmt.Println("  This application can run on session-semantics (close-to-open) file systems.")
+		fmt.Fprintln(w, "  This application can run on session-semantics (close-to-open) file systems.")
 	}
 	if racy {
 		return exitConflicts

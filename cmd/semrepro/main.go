@@ -8,6 +8,8 @@
 // Usage:
 //
 //	semrepro -out results -ranks 64 -ppn 8
+//	semrepro -out results -checkpoint ckptdir            # journal as you go
+//	semrepro -out results -checkpoint ckptdir -resume    # replay after a crash
 //	semrepro -out results -chaos -chaos-seeds 1,2,3
 //
 // Exit codes: 0 = everything completed, 1 = hard failure (no configuration
@@ -28,6 +30,7 @@ import (
 	"repro/internal/experiments"
 	"repro/internal/faults"
 	"repro/internal/obs"
+	"repro/internal/pfs"
 	"repro/internal/report"
 )
 
@@ -46,15 +49,24 @@ func run() (code int) {
 		ranks      = flag.Int("ranks", 64, "ranks per run")
 		ppn        = flag.Int("ppn", 8, "processes per node")
 		seed       = flag.Uint64("seed", 1, "simulation seed")
+		semName    = flag.String("semantics", "strong", "consistency model for the sweep: strong|commit|session|eventual")
 		only       = flag.String("only", "", "generate a single artifact: table1|table3|table4|table5|figure1|figure2|figure3|verdicts")
 		workers    = flag.Int("workers", 0, "how many configurations to run concurrently: 0 = GOMAXPROCS, 1 = serial")
 		timeout    = flag.Duration("task-timeout", 0, "abandon any single configuration after this long (0 = no limit)")
+		ckptDir    = flag.String("checkpoint", "", "journal completed configurations to this directory (crash-safe)")
+		resume     = flag.Bool("resume", false, "replay configurations already journaled in -checkpoint instead of re-running them")
 		chaos      = flag.Bool("chaos", false, "run the fault-injection chaos sweep instead of the paper artifacts")
 		chaosSeeds = flag.String("chaos-seeds", "1", "comma-separated schedule seeds for -chaos")
+		chaosApps  = flag.String("chaos-apps", "", "comma-separated configuration names for -chaos (default: full registry)")
+		chaosSem   = flag.String("chaos-semantics", "", "comma-separated consistency models for -chaos (default: all four)")
 		tele       obs.CLIFlags
 	)
 	tele.Register(flag.CommandLine)
 	flag.Parse()
+	if err := faults.ArmKillPointsFromEnv(); err != nil {
+		fmt.Fprintln(os.Stderr, "semrepro:", err)
+		return exitUsage
+	}
 	if err := tele.Start(os.Stderr); err != nil {
 		fmt.Fprintln(os.Stderr, "semrepro:", err)
 		return exitUsage
@@ -68,11 +80,21 @@ func run() (code int) {
 		}
 	}()
 
+	if *resume && *ckptDir == "" {
+		fmt.Fprintln(os.Stderr, "semrepro: -resume requires -checkpoint")
+		return exitUsage
+	}
+	semantics, err := pfs.ParseSemantics(*semName)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "semrepro: -semantics:", err)
+		return exitUsage
+	}
+
 	if err := os.MkdirAll(*out, 0o755); err != nil {
 		fmt.Fprintln(os.Stderr, "semrepro:", err)
 		return exitError
 	}
-	scale := experiments.Scale{Ranks: *ranks, PPN: *ppn, Seed: *seed}
+	scale := experiments.Scale{Ranks: *ranks, PPN: *ppn, Seed: *seed, Semantics: semantics}
 
 	hardErr := false
 	write := func(name, content string) {
@@ -91,9 +113,16 @@ func run() (code int) {
 			fmt.Fprintln(os.Stderr, "semrepro: -chaos-seeds:", err)
 			return exitUsage
 		}
+		sems, err := parseSemanticsList(*chaosSem)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "semrepro: -chaos-semantics:", err)
+			return exitUsage
+		}
 		rep, err := faults.Sweep(context.Background(), faults.SweepOptions{
-			Seeds:   seeds,
-			Workers: *workers,
+			Apps:      parseList(*chaosApps),
+			Semantics: sems,
+			Seeds:     seeds,
+			Workers:   *workers,
 		})
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "semrepro: chaos:", err)
@@ -126,9 +155,26 @@ func run() (code int) {
 		return exitOK
 	}
 
+	sweep := experiments.SweepOptions{Workers: *workers, TaskTimeout: *timeout, Resume: *resume}
+	if *ckptDir != "" {
+		store, err := experiments.OpenCheckpoint(*ckptDir, scale)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "semrepro: -checkpoint:", err)
+			return exitError
+		}
+		defer store.Close()
+		if rs := store.Stats(); rs.Degraded() {
+			fmt.Println("checkpoint recovery:", rs.String())
+		}
+		sweep.Checkpoint = store
+	}
+
 	fmt.Printf("running all %d configurations at %d ranks...\n", 25, *ranks)
-	results, err := experiments.RunAllCtx(context.Background(), scale,
-		experiments.SweepOptions{Workers: *workers, TaskTimeout: *timeout})
+	results, err := experiments.RunAllCtx(context.Background(), scale, sweep)
+	if *ckptDir != "" && results != nil {
+		sum := results.Summarize()
+		fmt.Printf("checkpoint: %d replayed, %d executed\n", sum.Replayed, sum.Executed)
+	}
 	degraded := false
 	if err != nil {
 		// Failures are per-configuration and already wrapped with the failing
@@ -203,6 +249,29 @@ func parseSeeds(s string) ([]uint64, error) {
 		return nil, fmt.Errorf("no seeds in %q", s)
 	}
 	return seeds, nil
+}
+
+// parseList splits a comma-separated flag value, dropping empty entries.
+func parseList(s string) []string {
+	var out []string
+	for _, part := range strings.Split(s, ",") {
+		if part = strings.TrimSpace(part); part != "" {
+			out = append(out, part)
+		}
+	}
+	return out
+}
+
+func parseSemanticsList(s string) ([]pfs.Semantics, error) {
+	var out []pfs.Semantics
+	for _, name := range parseList(s) {
+		sem, err := pfs.ParseSemantics(name)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, sem)
+	}
+	return out, nil
 }
 
 func sanitize(name string) string {

@@ -1,0 +1,254 @@
+// Package ckpt is the durable, checksummed checkpoint store behind the
+// repo's crash-safe sweeps. It eats the paper's dog food: the store's only
+// durability primitives are the commit points the paper says applications
+// actually rely on — an atomic write-temp → fsync → rename for the manifest
+// and an append → fsync write-ahead journal for completed work units. A
+// record is committed exactly when its fsync returns; recovery CRC-verifies
+// every record, salvages the valid prefix of a torn tail (the shape a crash
+// mid-append leaves behind), and truncates the damage so the journal stays
+// append-clean.
+//
+// The store is generic: keys are strings, blobs are opaque bytes, and the
+// manifest pins whatever identity the caller needs (schema version, sweep
+// scale, consistency model) so a resume against the wrong directory fails
+// loudly instead of replaying foreign results. internal/experiments journals
+// completed configuration results (see EncodeResult/DecodeResult);
+// cmd/semanalyze journals rendered analyses; cmd/pfsbench journals ablation
+// cells.
+package ckpt
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"sync"
+)
+
+// SchemaVersion is the on-disk format version stamped into every manifest.
+// Open refuses a store written by a different version.
+const SchemaVersion = 1
+
+const (
+	manifestName = "ckpt.json"
+	journalName  = "journal.wal"
+)
+
+// Manifest identifies what a checkpoint directory holds. Open compares every
+// field; a mismatch means the directory belongs to a different run shape and
+// must not be resumed from.
+type Manifest struct {
+	Version   int    `json:"version"`
+	Kind      string `json:"kind"` // e.g. "experiments.sweep", "semanalyze", "pfsbench"
+	Ranks     int    `json:"ranks,omitempty"`
+	PPN       int    `json:"ppn,omitempty"`
+	Seed      uint64 `json:"seed,omitempty"`
+	Semantics string `json:"semantics,omitempty"`
+	Params    string `json:"params,omitempty"` // canonical workload parameters
+}
+
+// ErrMismatch reports a checkpoint directory whose manifest does not match
+// the run being resumed.
+var ErrMismatch = errors.New("ckpt: checkpoint belongs to a different run")
+
+// Store is a durable key → blob journal store rooted in one directory. It is
+// safe for concurrent appends (sweep workers commit results as they finish).
+type Store struct {
+	dir string
+
+	mu        sync.Mutex
+	f         *os.File
+	committed map[string][]byte
+	stats     RecoverStats
+}
+
+// Open opens (creating if needed) the checkpoint store at dir. m.Version is
+// stamped with SchemaVersion. A fresh directory gets the manifest written
+// atomically; an existing one must carry an equal manifest, and its journal
+// is recovered — CRC-verified, torn tail salvaged and truncated — before the
+// store accepts appends.
+func Open(dir string, m Manifest) (*Store, error) {
+	m.Version = SchemaVersion
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("ckpt: %w", err)
+	}
+	mpath := filepath.Join(dir, manifestName)
+	existing, err := os.ReadFile(mpath)
+	switch {
+	case err == nil:
+		var have Manifest
+		if jerr := json.Unmarshal(existing, &have); jerr != nil {
+			return nil, fmt.Errorf("ckpt: parsing %s: %w", mpath, jerr)
+		}
+		if have != m {
+			return nil, fmt.Errorf("%w: %s holds %+v, want %+v", ErrMismatch, dir, have, m)
+		}
+	case os.IsNotExist(err):
+		b, jerr := json.MarshalIndent(m, "", "  ")
+		if jerr != nil {
+			return nil, fmt.Errorf("ckpt: %w", jerr)
+		}
+		if werr := atomicWriteFile(mpath, append(b, '\n')); werr != nil {
+			return nil, werr
+		}
+	default:
+		return nil, fmt.Errorf("ckpt: %w", err)
+	}
+
+	jpath := filepath.Join(dir, journalName)
+	f, err := os.OpenFile(jpath, os.O_CREATE|os.O_RDWR, 0o644)
+	if err != nil {
+		return nil, fmt.Errorf("ckpt: %w", err)
+	}
+	byKey, stats, good, err := recoverJournal(f)
+	if err != nil {
+		f.Close()
+		return nil, err
+	}
+	// Truncate the torn tail (if any) so appends continue from the last
+	// intact record, then position at the end.
+	if err := f.Truncate(good); err != nil {
+		f.Close()
+		return nil, fmt.Errorf("ckpt: truncating torn tail: %w", err)
+	}
+	if _, err := f.Seek(good, 0); err != nil {
+		f.Close()
+		return nil, fmt.Errorf("ckpt: %w", err)
+	}
+	recoverKept.Add(int64(stats.Records))
+	recoverDropped.Add(int64(stats.Dropped))
+	recoverTruncated.Add(stats.TailBytes)
+	return &Store{dir: dir, f: f, committed: byKey, stats: stats}, nil
+}
+
+// Dir returns the store's root directory.
+func (s *Store) Dir() string { return s.dir }
+
+// Stats returns what recovery found when the store was opened.
+func (s *Store) Stats() RecoverStats {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.stats
+}
+
+// Len returns the number of committed keys.
+func (s *Store) Len() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return len(s.committed)
+}
+
+// Keys returns the committed keys, sorted.
+func (s *Store) Keys() []string {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make([]string, 0, len(s.committed))
+	for k := range s.committed {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Lookup returns the committed blob for key. Every call counts toward the
+// ckpt.resume.{hits,misses} telemetry — callers consult the store exactly
+// when deciding whether cached work can replace re-execution.
+func (s *Store) Lookup(key string) ([]byte, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	b, ok := s.committed[key]
+	if ok {
+		resumeHits.Inc()
+	} else {
+		resumeMisses.Inc()
+	}
+	return b, ok
+}
+
+// Append commits one key → blob record: it is durable (and visible to a
+// future Recover) exactly when Append returns nil. Appending an existing key
+// supersedes it (last-wins on recovery).
+func (s *Store) Append(key string, blob []byte) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.f == nil {
+		return errors.New("ckpt: store is closed")
+	}
+	if _, err := appendRecord(s.f, key, blob); err != nil {
+		return err
+	}
+	s.committed[key] = append([]byte(nil), blob...)
+	return nil
+}
+
+// Close releases the journal file. The store's contents are already durable;
+// Close exists for tidiness, not for commit.
+func (s *Store) Close() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.f == nil {
+		return nil
+	}
+	err := s.f.Close()
+	s.f = nil
+	return err
+}
+
+// ReadJournal recovers dir's journal read-only: committed keys (sorted) plus
+// salvage stats, without truncating damage or touching the manifest. Tooling
+// and the kill-and-recover harness use it to inspect what a crashed run
+// committed.
+func ReadJournal(dir string) ([]string, RecoverStats, error) {
+	f, err := os.Open(filepath.Join(dir, journalName))
+	if err != nil {
+		return nil, RecoverStats{}, fmt.Errorf("ckpt: %w", err)
+	}
+	defer f.Close()
+	byKey, stats, _, err := recoverJournal(f)
+	if err != nil {
+		return nil, stats, err
+	}
+	keys := make([]string, 0, len(byKey))
+	for k := range byKey {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys, stats, nil
+}
+
+// atomicWriteFile writes path via write-temp → fsync → rename → fsync(dir):
+// the file either exists with the full content or not at all, never torn —
+// the commit discipline the paper's applications rely on, applied to our own
+// metadata.
+func atomicWriteFile(path string, b []byte) error {
+	dir := filepath.Dir(path)
+	tmp, err := os.CreateTemp(dir, ".tmp-"+filepath.Base(path)+"-")
+	if err != nil {
+		return fmt.Errorf("ckpt: %w", err)
+	}
+	tmpName := tmp.Name()
+	defer os.Remove(tmpName) // no-op after a successful rename
+	if _, err := tmp.Write(b); err != nil {
+		tmp.Close()
+		return fmt.Errorf("ckpt: %w", err)
+	}
+	if err := tmp.Sync(); err != nil {
+		tmp.Close()
+		return fmt.Errorf("ckpt: %w", err)
+	}
+	if err := tmp.Close(); err != nil {
+		return fmt.Errorf("ckpt: %w", err)
+	}
+	if err := os.Rename(tmpName, path); err != nil {
+		return fmt.Errorf("ckpt: %w", err)
+	}
+	// Publish the rename itself: fsync the directory so the new name
+	// survives a crash (best-effort on platforms that refuse dir fsync).
+	if d, err := os.Open(dir); err == nil {
+		_ = d.Sync()
+		_ = d.Close()
+	}
+	return nil
+}

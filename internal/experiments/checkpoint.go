@@ -1,0 +1,73 @@
+package experiments
+
+import (
+	"fmt"
+
+	"repro/internal/ckpt"
+)
+
+// Checkpoint/resume support for registry sweeps: the store's manifest pins
+// the sweep's full identity (scale, seed, consistency model, workload
+// parameters), so a -resume against a directory written by a different run
+// shape fails with ckpt.ErrMismatch instead of replaying foreign results.
+
+// CheckpointKind is the manifest kind of registry-sweep stores.
+const CheckpointKind = "experiments.sweep"
+
+// OpenCheckpoint opens (or creates) the durable checkpoint store for a
+// registry sweep at scale s. Pass the returned store in
+// SweepOptions.Checkpoint; set SweepOptions.Resume to replay what a previous
+// (possibly crashed) run already committed.
+func OpenCheckpoint(dir string, s Scale) (*ckpt.Store, error) {
+	return ckpt.Open(dir, ckpt.Manifest{
+		Kind:      CheckpointKind,
+		Ranks:     s.Ranks,
+		PPN:       s.PPN,
+		Seed:      s.Seed,
+		Semantics: s.Semantics.String(),
+		Params:    fmt.Sprintf("%+v", s.Params),
+	})
+}
+
+// ResumeSummary reports how a checkpointed sweep's results were obtained.
+type ResumeSummary struct {
+	Replayed int // configurations served from the journal
+	Executed int // configurations that actually ran
+}
+
+// Summarize counts replayed versus executed configurations in r.
+func (r *Results) Summarize() ResumeSummary {
+	var s ResumeSummary
+	for _, name := range r.Ordered {
+		if r.ByName[name].Replayed {
+			s.Replayed++
+		} else {
+			s.Executed++
+		}
+	}
+	return s
+}
+
+// ReplayedNames returns the names of configurations served from the journal,
+// in registry order.
+func (r *Results) ReplayedNames() []string {
+	var out []string
+	for _, name := range r.Ordered {
+		if r.ByName[name].Replayed {
+			out = append(out, name)
+		}
+	}
+	return out
+}
+
+// ExecutedNames returns the names of configurations that actually ran, in
+// registry order.
+func (r *Results) ExecutedNames() []string {
+	var out []string
+	for _, name := range r.Ordered {
+		if !r.ByName[name].Replayed {
+			out = append(out, name)
+		}
+	}
+	return out
+}

@@ -15,6 +15,7 @@ import (
 	"time"
 
 	"repro/internal/apps"
+	"repro/internal/ckpt"
 	"repro/internal/core"
 	"repro/internal/harness"
 	"repro/internal/obs"
@@ -34,10 +35,13 @@ var (
 
 // Scale fixes the run parameters for one reproduction pass.
 type Scale struct {
-	Ranks  int
-	PPN    int
-	Seed   uint64
-	Params apps.Params
+	Ranks int
+	PPN   int
+	Seed  uint64
+	// Semantics is the consistency model the sweep's file systems run under
+	// (zero value = pfs.Strong, the paper's baseline).
+	Semantics pfs.Semantics
+	Params    apps.Params
 }
 
 // DefaultScale is the paper's small configuration: 8 nodes × 8 processes.
@@ -86,6 +90,20 @@ type SweepOptions struct {
 	// rest of the sweep continues. The abandoned run keeps its goroutines
 	// until the simulated job drains; only its result is discarded.
 	TaskTimeout time.Duration
+	// Checkpoint, when non-nil, journals every configuration that completes
+	// successfully — the record is durable (fsync'd) before the sweep moves
+	// on, so a crash at any point loses at most the in-flight
+	// configurations. A result whose journal append fails is reported as
+	// that configuration's error: a result that is not durable must not be
+	// presented as checkpointed. Timed-out, cancelled and failed
+	// configurations are never journaled and re-run on resume.
+	Checkpoint *ckpt.Store
+	// Resume, with Checkpoint set, replays journaled configurations from the
+	// store instead of re-executing them: their cached harness.Results carry
+	// record-identical traces (Result.Replayed is set) and the configuration
+	// body never runs. A journaled blob that fails to decode falls back to
+	// re-execution.
+	Resume bool
 }
 
 // RunAllCtx is RunAll under a context with sweep hardening: cancelling ctx
@@ -112,8 +130,31 @@ func runConfigsCtx(ctx context.Context, cfgs []*apps.Config, s Scale, o SweepOpt
 		done bool
 	}
 	slots := make([]slot, len(cfgs))
+	skip := make([]bool, len(cfgs))
+	if o.Resume && o.Checkpoint != nil {
+		for i, cfg := range cfgs {
+			res, hit, err := o.Checkpoint.LookupResult(cfg.Name())
+			if err != nil {
+				// A journaled blob that fails to decode is treated as a
+				// miss: re-running is always safe, replaying garbage never.
+				continue
+			}
+			if hit {
+				slots[i] = slot{res: res, done: true}
+				skip[i] = true
+			}
+		}
+	}
 	ctxErr := core.ParallelForCtx(ctx, len(cfgs), o.Workers, func(i int) {
+		if skip[i] {
+			return
+		}
 		res, err := runCell(ctx, cfgs[i], s, o.TaskTimeout)
+		if err == nil && o.Checkpoint != nil {
+			if jerr := o.Checkpoint.AppendResult(cfgs[i].Name(), res); jerr != nil {
+				res, err = nil, fmt.Errorf("experiments: %s: checkpoint: %w", cfgs[i].Name(), jerr)
+			}
+		}
 		slots[i] = slot{res: res, err: err, done: true}
 	})
 
@@ -163,7 +204,7 @@ func runCell(ctx context.Context, cfg *apps.Config, s Scale, timeout time.Durati
 			}
 		}()
 		r, e := execute(cfg, apps.Options{
-			Ranks: s.Ranks, PPN: s.PPN, Seed: s.Seed, Semantics: pfs.Strong,
+			Ranks: s.Ranks, PPN: s.PPN, Seed: s.Seed, Semantics: s.Semantics,
 			Params: s.Params,
 		})
 		if e == nil {
@@ -209,7 +250,7 @@ func RunOne(name string, s Scale) (*harness.Result, error) {
 		return nil, fmt.Errorf("experiments: unknown config %q", name)
 	}
 	res, err := apps.Execute(cfg, apps.Options{
-		Ranks: s.Ranks, PPN: s.PPN, Seed: s.Seed, Semantics: pfs.Strong,
+		Ranks: s.Ranks, PPN: s.PPN, Seed: s.Seed, Semantics: s.Semantics,
 		Params: s.Params,
 	})
 	if err != nil {

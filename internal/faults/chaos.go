@@ -156,7 +156,7 @@ func Sweep(ctx context.Context, o SweepOptions) (*Report, error) {
 	viols := make([][]Violation, len(cells))
 	err := core.ParallelForCtx(ctx, len(cells), o.Workers, func(i int) {
 		k := cells[i]
-		out[i], viols[i] = runChaosCell(o, o.Apps[k.app], uint64(k.app), o.Semantics[k.sem], o.Seeds[k.seed])
+		out[i], viols[i] = runChaosCell(o, o.Apps[k.app], o.Semantics[k.sem], o.Seeds[k.seed])
 	})
 	rep := &Report{}
 	for i := range out {
@@ -171,16 +171,20 @@ func Sweep(ctx context.Context, o SweepOptions) (*Report, error) {
 }
 
 // runChaosCell executes one cell and checks its invariants.
-func runChaosCell(o SweepOptions, app string, appID uint64, sem pfs.Semantics, seed uint64) (Cell, []Violation) {
+func runChaosCell(o SweepOptions, app string, sem pfs.Semantics, seed uint64) (Cell, []Violation) {
 	cell := Cell{App: app, Semantics: sem, Seed: seed}
 	var viols []Violation
 	violate := func(format string, args ...any) {
 		viols = append(viols, Violation{Cell: cell, Desc: fmt.Sprintf(format, args...)})
 	}
 
-	// One deterministic sub-seed per cell: the same sweep options always map
-	// a cell to the same schedule, independent of sweep order or pool size.
-	cellSeed := sim.NewRNG(seed).Split(appID).Split(uint64(sem)).Uint64()
+	// One deterministic sub-seed per cell, derived from the application's
+	// *name* (not its position in the sweep's app list): the same cell always
+	// runs the same schedule no matter how the sweep was filtered, which is
+	// what makes the single-cell ReproCommand replay exact.
+	h := fnv.New64a()
+	h.Write([]byte(app))
+	cellSeed := sim.NewRNG(seed).Split(h.Sum64()).Split(uint64(sem)).Uint64()
 	gen := GenOptions{Ranks: o.Ranks, Kinds: o.Kinds}
 	sched := Generate(cellSeed, gen)
 	cell.ScheduleFP = sched.Fingerprint()
@@ -325,6 +329,15 @@ func RenderSweep(rep *Report) string {
 		len(rep.Cells), rep.TotalFired, len(rep.Violations))
 	for _, v := range rep.Violations {
 		fmt.Fprintf(&b, "  VIOLATION %s\n", v)
+		fmt.Fprintf(&b, "    repro: %s\n", v.Cell.ReproCommand())
 	}
 	return b.String()
+}
+
+// ReproCommand renders the exact semrepro invocation that replays this cell
+// alone — same schedule, same seed, single configuration — so a failing
+// chaos cell is one paste away from reproduction.
+func (c Cell) ReproCommand() string {
+	return fmt.Sprintf("semrepro -chaos -chaos-seeds %d -chaos-apps %q -chaos-semantics %s",
+		c.Seed, c.App, c.Semantics)
 }

@@ -81,6 +81,50 @@ func TestChaosSchedulesByteIdenticalAcrossSweeps(t *testing.T) {
 	}
 }
 
+// TestChaosCellScheduleStableUnderFiltering pins the single-cell repro
+// contract behind Cell.ReproCommand: a cell's schedule depends on the app's
+// name, not its position in the sweep's app list, so re-running just that
+// cell with -chaos-apps reproduces the exact schedule from the full sweep.
+func TestChaosCellScheduleStableUnderFiltering(t *testing.T) {
+	full, err := Sweep(context.Background(), SweepOptions{
+		Apps:      []string{"GTC", "NWChem", "FLASH-fbs"},
+		Semantics: allSemantics(),
+		Seeds:     []uint64{5},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// NWChem is index 1 above and index 0 here — the fingerprints must not
+	// notice.
+	solo, err := Sweep(context.Background(), SweepOptions{
+		Apps:      []string{"NWChem"},
+		Semantics: allSemantics(),
+		Seeds:     []uint64{5},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	fullFP := make(map[string]uint64)
+	for _, c := range full.Cells {
+		if c.App == "NWChem" {
+			fullFP[c.Semantics.String()] = c.ScheduleFP
+		}
+	}
+	for _, c := range solo.Cells {
+		if got, want := c.ScheduleFP, fullFP[c.Semantics.String()]; got != want {
+			t.Errorf("%s/%s: filtered schedule %016x != full-sweep %016x — ReproCommand would not reproduce",
+				c.App, c.Semantics, got, want)
+		}
+	}
+	// And the rendered violation block carries a paste-ready command.
+	cmd := Cell{App: "NWChem", Semantics: pfs.Commit, Seed: 5}.ReproCommand()
+	for _, want := range []string{"-chaos-apps \"NWChem\"", "-chaos-semantics commit", "-chaos-seeds 5"} {
+		if !strings.Contains(cmd, want) {
+			t.Errorf("ReproCommand %q missing %q", cmd, want)
+		}
+	}
+}
+
 func TestChaosSweepCancelled(t *testing.T) {
 	ctx, cancel := context.WithCancel(context.Background())
 	cancel()

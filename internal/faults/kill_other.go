@@ -1,0 +1,8 @@
+//go:build !unix
+
+package faults
+
+// killProcess approximates SIGKILL where signals are unavailable: exit
+// immediately without running deferred functions, with the conventional
+// 128+9 status.
+func killProcess() { fallbackExit() }

@@ -1,0 +1,16 @@
+//go:build unix
+
+package faults
+
+import "syscall"
+
+// killProcess delivers SIGKILL to the current process — the closest portable
+// analogue of a real crash: no deferred functions run, no buffers flush, the
+// exit status reports the signal. os.Exit is the fallback if the kernel
+// somehow refuses.
+func killProcess() {
+	_ = syscall.Kill(syscall.Getpid(), syscall.SIGKILL)
+	// SIGKILL is not maskable; reaching this line means the kill failed in a
+	// way Go can observe. Die anyway, with the conventional 128+9 status.
+	fallbackExit()
+}

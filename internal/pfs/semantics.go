@@ -23,6 +23,8 @@
 // (the paper notes BurstFS as the lone exception; see Registry).
 package pfs
 
+import "fmt"
+
 // Semantics identifies one of the four consistency models of Section 3.
 type Semantics int
 
@@ -52,6 +54,18 @@ func (s Semantics) String() string {
 		return semanticsNames[s]
 	}
 	return "semantics#" + string(rune('0'+int(s)))
+}
+
+// ParseSemantics maps a model name ("strong", "commit", "session",
+// "eventual") back to its Semantics — the inverse of String, for CLI flags
+// and checkpoint manifests.
+func ParseSemantics(name string) (Semantics, error) {
+	for i, n := range semanticsNames {
+		if n == name {
+			return Semantics(i), nil
+		}
+	}
+	return 0, fmt.Errorf("pfs: unknown semantics %q (want strong|commit|session|eventual)", name)
 }
 
 // WeakerThan reports whether s is a strictly weaker model than other

@@ -33,17 +33,46 @@ const traceMagic = "SEMFSTR1"
 // discarding the salvageable prefix (see LoadDirLenient).
 var ErrTruncated = errors.New("recorder: trace stream truncated")
 
+// TruncatedError is the concrete truncation error: it carries how many
+// records the stream header declared and how many decoded before the cut, so
+// salvage reporting can say exactly what was kept and what was dropped. It
+// matches errors.Is(err, ErrTruncated).
+type TruncatedError struct {
+	Declared uint64 // records the header promised (0 if the cut precedes the header)
+	Decoded  int    // records recovered before the cut
+}
+
+func (e *TruncatedError) Error() string {
+	if e.Declared > 0 {
+		return fmt.Sprintf("%v after %d records (%d of %d declared dropped)",
+			ErrTruncated, e.Decoded, e.Dropped(), e.Declared)
+	}
+	return fmt.Sprintf("%v after %d records", ErrTruncated, e.Decoded)
+}
+
+func (e *TruncatedError) Unwrap() error { return ErrTruncated }
+
+// Dropped returns how many declared records were lost to the cut (0 when the
+// declared count is unknown).
+func (e *TruncatedError) Dropped() int {
+	if e.Declared > uint64(e.Decoded) {
+		return int(e.Declared) - e.Decoded
+	}
+	return 0
+}
+
 // truncated reports whether err is a short-read condition (the stream ended
 // before the declared content did).
 func truncated(err error) bool {
 	return errors.Is(err, io.EOF) || errors.Is(err, io.ErrUnexpectedEOF)
 }
 
-// decodeFail wraps a mid-stream decode error, converting short reads into
-// ErrTruncated with the salvage position attached.
-func decodeFail(nrecords int, err error) error {
+// decodeFail wraps a mid-stream decode error, converting short reads into a
+// TruncatedError with the salvage position (and, once the header has been
+// read, the declared record count) attached.
+func decodeFail(declared uint64, nrecords int, err error) error {
 	if truncated(err) {
-		return fmt.Errorf("%w after %d records", ErrTruncated, nrecords)
+		return &TruncatedError{Declared: declared, Decoded: nrecords}
 	}
 	return err
 }
@@ -134,7 +163,7 @@ func DecodeRankStream(r io.Reader) (rank int, records []Record, err error) {
 	br := bufio.NewReader(r)
 	magic := make([]byte, len(traceMagic))
 	if _, err = io.ReadFull(br, magic); err != nil {
-		return 0, nil, fmt.Errorf("recorder: reading magic: %w", decodeFail(0, err))
+		return 0, nil, fmt.Errorf("recorder: reading magic: %w", decodeFail(0, 0, err))
 	}
 	if string(magic) != traceMagic {
 		return 0, nil, fmt.Errorf("recorder: bad magic %q", magic)
@@ -173,14 +202,14 @@ func DecodeRankStream(r io.Reader) (rank int, records []Record, err error) {
 
 	urank, err := binary.ReadUvarint(br)
 	if err != nil {
-		return 0, nil, decodeFail(0, err)
+		return 0, nil, decodeFail(0, 0, err)
 	}
 	if urank > 1<<20 {
 		return 0, nil, fmt.Errorf("recorder: rank %d out of range", urank)
 	}
 	count, err := binary.ReadUvarint(br)
 	if err != nil {
-		return int(urank), nil, decodeFail(0, err)
+		return int(urank), nil, decodeFail(0, 0, err)
 	}
 	if count > 1<<30 {
 		return 0, nil, fmt.Errorf("recorder: record count %d too large", count)
@@ -198,34 +227,34 @@ func DecodeRankStream(r io.Reader) (rank int, records []Record, err error) {
 		rec.Rank = int32(urank)
 		layer, err := br.ReadByte()
 		if err != nil {
-			return int(urank), records, decodeFail(len(records), err)
+			return int(urank), records, decodeFail(count, len(records), err)
 		}
 		rec.Layer = Layer(layer)
 		fn, err := binary.ReadUvarint(br)
 		if err != nil {
-			return int(urank), records, decodeFail(len(records), err)
+			return int(urank), records, decodeFail(count, len(records), err)
 		}
 		rec.Func = Func(fn)
 		if rec.TStart, err = binary.ReadUvarint(br); err != nil {
-			return int(urank), records, decodeFail(len(records), err)
+			return int(urank), records, decodeFail(count, len(records), err)
 		}
 		dur, err := binary.ReadUvarint(br)
 		if err != nil {
-			return int(urank), records, decodeFail(len(records), err)
+			return int(urank), records, decodeFail(count, len(records), err)
 		}
 		rec.TEnd = rec.TStart + dur
 		if rec.TEnd < rec.TStart {
 			return int(urank), records, fmt.Errorf("recorder: record %d duration overflows", i)
 		}
 		if rec.Path, err = readStr(); err != nil {
-			return int(urank), records, decodeFail(len(records), err)
+			return int(urank), records, decodeFail(count, len(records), err)
 		}
 		if rec.Path2, err = readStr(); err != nil {
-			return int(urank), records, decodeFail(len(records), err)
+			return int(urank), records, decodeFail(count, len(records), err)
 		}
 		nargs, err := binary.ReadUvarint(br)
 		if err != nil {
-			return int(urank), records, decodeFail(len(records), err)
+			return int(urank), records, decodeFail(count, len(records), err)
 		}
 		if nargs > 64 {
 			return int(urank), records, fmt.Errorf("recorder: %d args too many", nargs)
@@ -234,7 +263,7 @@ func DecodeRankStream(r io.Reader) (rank int, records []Record, err error) {
 			rec.Args = make([]int64, nargs)
 			for j := range rec.Args {
 				if rec.Args[j], err = binary.ReadVarint(br); err != nil {
-					return int(urank), records, decodeFail(len(records), err)
+					return int(urank), records, decodeFail(count, len(records), err)
 				}
 			}
 		}
@@ -323,6 +352,9 @@ type Salvage struct {
 	Unreadable int // streams missing or corrupt beyond salvage
 	Records    int // total records loaded
 	Salvaged   int // records recovered from truncated/corrupt streams
+	// Dropped counts records declared by damaged streams' headers but lost
+	// to the cut (0 when a stream died before declaring its count).
+	Dropped int
 	// Errs holds one error per degraded stream, wrapped with the file name.
 	Errs []error
 }
@@ -331,8 +363,8 @@ type Salvage struct {
 func (s *Salvage) Degraded() bool { return s.Truncated > 0 || s.Unreadable > 0 }
 
 func (s *Salvage) String() string {
-	return fmt.Sprintf("salvage: %d/%d streams full, %d truncated, %d unreadable; %d records (%d salvaged)",
-		s.Full, s.Ranks, s.Truncated, s.Unreadable, s.Records, s.Salvaged)
+	return fmt.Sprintf("salvage: %d/%d streams full, %d truncated, %d unreadable; %d records (%d salvaged, %d dropped)",
+		s.Full, s.Ranks, s.Truncated, s.Unreadable, s.Records, s.Salvaged, s.Dropped)
 }
 
 // LoadDirLenient is the degraded-mode LoadDir: instead of aborting on the
@@ -363,6 +395,10 @@ func LoadDirLenient(dir string) (*Trace, *Salvage, error) {
 		} else {
 			sal.Unreadable++
 		}
+		var te *TruncatedError
+		if errors.As(err, &te) {
+			sal.Dropped += te.Dropped()
+		}
 		sal.Errs = append(sal.Errs, fmt.Errorf("%s: %w", name, err))
 	}
 	for rank := 0; rank < meta.Ranks; rank++ {
@@ -387,6 +423,7 @@ func LoadDirLenient(dir string) (*Trace, *Salvage, error) {
 		tr.PerRank[rank] = rs
 		sal.Records += len(rs)
 	}
+	sal.observe()
 	if sal.Records == 0 {
 		return nil, sal, fmt.Errorf("recorder: %s: nothing salvageable", dir)
 	}

@@ -234,6 +234,14 @@ func TestLoadDirLenient(t *testing.T) {
 	if sal.Salvaged == 0 || sal.Records != 3+sal.Salvaged || len(sal.Errs) != 2 {
 		t.Fatalf("degraded load counts: %v", sal)
 	}
+	// The truncated stream declared 3 records and lost its tail: the salvage
+	// report counts exactly what was dropped, not just that damage happened.
+	if sal.Dropped != 3-sal.Salvaged {
+		t.Fatalf("dropped = %d, want %d (declared minus salvaged)", sal.Dropped, 3-sal.Salvaged)
+	}
+	if s := sal.String(); !strings.Contains(s, "dropped") {
+		t.Fatalf("salvage string omits the dropped count: %q", s)
+	}
 	if len(got.PerRank[0]) != 3 || len(got.PerRank[2]) != 0 {
 		t.Fatalf("per-rank records: %d/%d/%d",
 			len(got.PerRank[0]), len(got.PerRank[1]), len(got.PerRank[2]))
