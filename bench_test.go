@@ -352,6 +352,66 @@ func BenchmarkAnalyzeParallel(b *testing.B) {
 	}
 }
 
+// BenchmarkFusedAnalyze compares the fused single-sweep multi-model
+// conflict engine against the pre-fusion per-model path over the full
+// registry at benchScale. Three shapes:
+//
+//   - per-model: one AnalyzeConflicts call per model — two extractions and
+//     two full sweeps per trace (the pre-PR production path);
+//   - fused-cold: one AnalyzeConflictsAll call with the extraction cache
+//     invalidated every iteration — one extraction plus one sweep;
+//   - fused-warm: the same with the cache hot — one sweep, zero extractions
+//     (the steady state of report/figure pipelines revisiting a trace).
+//
+// The equivalence of the two engines is proven by internal/analysistest
+// (CheckFused over randomized traces and all registry apps), so the delta
+// here is pure performance.
+func BenchmarkFusedAnalyze(b *testing.B) {
+	res := allResults(b)
+	models := []pfs.Semantics{pfs.Session, pfs.Commit}
+	b.Run("per-model", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			for _, name := range res.Ordered {
+				tr := res.ByName[name].Trace
+				for _, m := range models {
+					_, sig := core.AnalyzeConflicts(tr, m)
+					if sig.Any() {
+						benchSink++
+					}
+				}
+			}
+		}
+	})
+	b.Run("fused-cold", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			for _, name := range res.Ordered {
+				tr := res.ByName[name].Trace
+				core.InvalidateExtraction(tr)
+				for _, mc := range core.AnalyzeConflictsAll(tr, models...) {
+					if mc.Signature.Any() {
+						benchSink++
+					}
+				}
+			}
+		}
+	})
+	b.Run("fused-warm", func(b *testing.B) {
+		for _, name := range res.Ordered {
+			core.ExtractShared(res.ByName[name].Trace) // prime the cache
+		}
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			for _, name := range res.Ordered {
+				for _, mc := range core.AnalyzeConflictsAll(res.ByName[name].Trace, models...) {
+					if mc.Signature.Any() {
+						benchSink++
+					}
+				}
+			}
+		}
+	})
+}
+
 // BenchmarkExtract measures offset reconstruction over a large trace.
 func BenchmarkExtract(b *testing.B) {
 	res := allResults(b)

@@ -1,0 +1,169 @@
+// Command benchgate parses `go test -bench` output, emits a JSON baseline,
+// and gates regressions against a checked-in baseline (BENCH_pr5.json).
+//
+// Usage:
+//
+//	go test -bench X -benchmem ./... | benchgate -emit BENCH_pr5.json
+//	go test -bench X -benchmem ./... | benchgate -baseline BENCH_pr5.json -threshold 20
+//
+// Gating compares allocs/op and B/op, which are machine-independent for a
+// deterministic workload; ns/op is recorded and reported but only gated
+// when -ns-threshold is set, because wall-clock baselines do not transfer
+// across hosts (CI runners differ from the machine that emitted the
+// baseline).
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"regexp"
+	"strconv"
+	"strings"
+)
+
+// Bench is one benchmark's measured values.
+type Bench struct {
+	NsPerOp     float64 `json:"ns_per_op"`
+	BytesPerOp  float64 `json:"bytes_per_op"`
+	AllocsPerOp float64 `json:"allocs_per_op"`
+}
+
+// Baseline is the checked-in benchmark baseline file.
+type Baseline struct {
+	Benchmarks map[string]Bench `json:"benchmarks"`
+}
+
+var gomaxprocsSuffix = regexp.MustCompile(`-\d+$`)
+
+// parse consumes `go test -bench` output lines of the form
+//
+//	BenchmarkName-8   	     100	  11093 ns/op	  2048 B/op	      12 allocs/op
+//
+// keyed by the benchmark name with the -GOMAXPROCS suffix stripped.
+func parse(lines []string) map[string]Bench {
+	out := make(map[string]Bench)
+	for _, line := range lines {
+		fields := strings.Fields(line)
+		if len(fields) < 4 || !strings.HasPrefix(fields[0], "Benchmark") {
+			continue
+		}
+		name := gomaxprocsSuffix.ReplaceAllString(fields[0], "")
+		var b Bench
+		seen := false
+		for i := 2; i+1 < len(fields); i += 2 {
+			v, err := strconv.ParseFloat(fields[i], 64)
+			if err != nil {
+				continue
+			}
+			switch fields[i+1] {
+			case "ns/op":
+				b.NsPerOp, seen = v, true
+			case "B/op":
+				b.BytesPerOp, seen = v, true
+			case "allocs/op":
+				b.AllocsPerOp, seen = v, true
+			}
+		}
+		if seen {
+			out[name] = b
+		}
+	}
+	return out
+}
+
+// worse reports the regression of got over base as a percentage (negative
+// when got improved). A zero baseline with a nonzero result is treated as
+// fully regressed.
+func worse(base, got float64) float64 {
+	if base == 0 {
+		if got == 0 {
+			return 0
+		}
+		return 100
+	}
+	return (got - base) / base * 100
+}
+
+func main() {
+	emit := flag.String("emit", "", "write the parsed results as a JSON baseline to this path")
+	baseline := flag.String("baseline", "", "compare against this JSON baseline")
+	threshold := flag.Float64("threshold", 20, "max allowed regression %% for allocs/op and B/op")
+	nsThreshold := flag.Float64("ns-threshold", 0, "max allowed regression %% for ns/op (0 disables wall-clock gating)")
+	flag.Parse()
+
+	var lines []string
+	sc := bufio.NewScanner(os.Stdin)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	for sc.Scan() {
+		line := sc.Text()
+		fmt.Println(line) // passthrough so CI logs keep the raw output
+		lines = append(lines, line)
+	}
+	if err := sc.Err(); err != nil {
+		fmt.Fprintf(os.Stderr, "benchgate: reading stdin: %v\n", err)
+		os.Exit(2)
+	}
+	results := parse(lines)
+	if len(results) == 0 {
+		fmt.Fprintln(os.Stderr, "benchgate: no benchmark lines found on stdin")
+		os.Exit(2)
+	}
+
+	if *emit != "" {
+		data, err := json.MarshalIndent(Baseline{Benchmarks: results}, "", "  ")
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "benchgate: %v\n", err)
+			os.Exit(2)
+		}
+		if err := os.WriteFile(*emit, append(data, '\n'), 0o644); err != nil {
+			fmt.Fprintf(os.Stderr, "benchgate: %v\n", err)
+			os.Exit(2)
+		}
+		fmt.Fprintf(os.Stderr, "benchgate: wrote %d benchmarks to %s\n", len(results), *emit)
+	}
+
+	if *baseline == "" {
+		return
+	}
+	data, err := os.ReadFile(*baseline)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "benchgate: %v\n", err)
+		os.Exit(2)
+	}
+	var base Baseline
+	if err := json.Unmarshal(data, &base); err != nil {
+		fmt.Fprintf(os.Stderr, "benchgate: %s: %v\n", *baseline, err)
+		os.Exit(2)
+	}
+
+	failed := false
+	for name, b := range base.Benchmarks {
+		got, ok := results[name]
+		if !ok {
+			fmt.Fprintf(os.Stderr, "benchgate: FAIL %s: in baseline but not in this run\n", name)
+			failed = true
+			continue
+		}
+		check := func(metric string, d, limit float64) {
+			switch {
+			case limit > 0 && d > limit:
+				fmt.Fprintf(os.Stderr, "benchgate: FAIL %s: %s regressed %+.1f%% (limit %.0f%%)\n",
+					name, metric, d, limit)
+				failed = true
+			case d > 0:
+				fmt.Fprintf(os.Stderr, "benchgate: note %s: %s %+.1f%%\n", name, metric, d)
+			}
+		}
+		check("allocs/op", worse(b.AllocsPerOp, got.AllocsPerOp), *threshold)
+		check("B/op", worse(b.BytesPerOp, got.BytesPerOp), *threshold)
+		check("ns/op", worse(b.NsPerOp, got.NsPerOp), *nsThreshold)
+	}
+	if failed {
+		os.Exit(1)
+	}
+	fmt.Fprintf(os.Stderr, "benchgate: %d benchmarks within %.0f%% of %s\n",
+		len(base.Benchmarks), *threshold, *baseline)
+}

@@ -13,6 +13,8 @@ import (
 	"testing"
 
 	semfs "repro"
+	"repro/internal/core"
+	"repro/internal/pfs"
 	"repro/internal/recorder"
 )
 
@@ -45,7 +47,9 @@ func RequireEqual(t testing.TB, label string, serial, parallel *semfs.Analysis) 
 }
 
 // CheckTrace asserts AnalyzeParallel(tr, w) == Analyze(tr) for every worker
-// count (DefaultWorkerCounts when none given).
+// count (DefaultWorkerCounts when none given), and that the fused
+// multi-model conflict engine matches the per-model oracle on the same
+// trace.
 func CheckTrace(t testing.TB, label string, tr *recorder.Trace, workerCounts ...int) {
 	t.Helper()
 	if len(workerCounts) == 0 {
@@ -55,6 +59,65 @@ func CheckTrace(t testing.TB, label string, tr *recorder.Trace, workerCounts ...
 	for _, w := range workerCounts {
 		RequireEqual(t, labelWorkers(label, w), oracle, semfs.AnalyzeParallel(tr, w))
 	}
+	CheckFused(t, label, tr, workerCounts...)
+}
+
+// AllModels lists the four consistency models the fused engine is checked
+// against, strongest first.
+var AllModels = []pfs.Semantics{pfs.Strong, pfs.Commit, pfs.Session, pfs.Eventual}
+
+// CheckFused asserts the single-sweep multi-model engine
+// (core.AnalyzeConflictsAll, serial and parallel) produces byte-identical
+// per-file conflict lists and signatures to the per-model oracle
+// core.AnalyzeConflicts for every consistency model, and that the derived
+// verdicts agree.
+func CheckFused(t testing.TB, label string, tr *recorder.Trace, workerCounts ...int) {
+	t.Helper()
+	if len(workerCounts) == 0 {
+		workerCounts = DefaultWorkerCounts
+	}
+	wantByFile := make([]map[string][]core.Conflict, len(AllModels))
+	wantSig := make([]core.ConflictSignature, len(AllModels))
+	for i, m := range AllModels {
+		wantByFile[i], wantSig[i] = core.AnalyzeConflicts(tr, m)
+	}
+
+	requireModels := func(how string, ms []core.ModelConflicts) {
+		t.Helper()
+		for i, m := range AllModels {
+			if ms[i].Model != m {
+				t.Errorf("%s: %s model order: got %v want %v", label, how, ms[i].Model, m)
+			}
+			if ms[i].Signature != wantSig[i] {
+				t.Errorf("%s: %s signature under %v diverges from per-model oracle\noracle: %+v\nfused:  %+v",
+					label, how, m, wantSig[i], ms[i].Signature)
+			}
+			if !reflect.DeepEqual(ms[i].ByFile, wantByFile[i]) {
+				t.Errorf("%s: %s conflicts under %v diverge from per-model oracle", label, how, m)
+			}
+		}
+	}
+	requireModels("fused-serial", core.ConflictsAllOverFiles(core.Extract(tr), AllModels))
+	fas := core.ExtractShared(tr)
+	for _, w := range workerCounts {
+		requireModels(fmt.Sprintf("fused-parallel/workers=%d", w),
+			core.ConflictsAllForFiles(fas, AllModels, w))
+	}
+
+	sessionI, commitI := indexOf(pfs.Session), indexOf(pfs.Commit)
+	wantVerdict := core.VerdictFrom(wantSig[sessionI], wantSig[commitI])
+	if got := core.Analyze(tr); got != wantVerdict {
+		t.Errorf("%s: fused verdict %+v, per-model oracle %+v", label, got, wantVerdict)
+	}
+}
+
+func indexOf(m pfs.Semantics) int {
+	for i, x := range AllModels {
+		if x == m {
+			return i
+		}
+	}
+	panic("model not in AllModels")
 }
 
 // CheckApp runs one registry application configuration and asserts

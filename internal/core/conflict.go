@@ -2,6 +2,7 @@ package core
 
 import (
 	"fmt"
+	"slices"
 	"sort"
 
 	"repro/internal/pfs"
@@ -46,8 +47,70 @@ func (c Conflict) String() string {
 		c.Second.Os, c.Second.Oe, c.Second.Rank, c.Second.T)
 }
 
-// DetectConflicts finds the conflicting access pairs of one file under the
-// given consistency model (§5.2):
+// MaxConflictsPerFile caps the conflicts materialized for one (file, model)
+// pair — the write-side counterpart of the read-read suppression in
+// DetectOverlaps. A write-heavy overlap storm (every write overlapping every
+// write) would otherwise materialize a quadratic pair list; past the cap,
+// further conflicts are dropped and tallied in the
+// core.conflicts.suppressed counter, EXCEPT that the first conflict of each
+// of the four Table 4 classes is always kept, so Signature (and therefore
+// every Verdict) is exact even on truncated lists. Set it before analysis
+// starts; it is read concurrently by the parallel passes.
+var MaxConflictsPerFile = 1 << 20
+
+// conflictAppender accumulates one (file, model) conflict list under
+// MaxConflictsPerFile, preserving class coverage (see the cap's doc).
+type conflictAppender struct {
+	out        []Conflict
+	classes    uint8 // bitmask of materialized Table 4 classes
+	suppressed int64
+	max        int
+}
+
+func classBit(kind ConflictKind, same bool) uint8 {
+	bit := uint8(1) << (uint(kind) * 2)
+	if same {
+		bit <<= 1
+	}
+	return bit
+}
+
+func (a *conflictAppender) add(c Conflict) {
+	bit := classBit(c.Kind, c.SameProcess)
+	if len(a.out) >= a.max && a.classes&bit != 0 {
+		a.suppressed++
+		return
+	}
+	a.classes |= bit
+	a.out = append(a.out, c)
+}
+
+// sortConflicts imposes the report order shared by the per-model and fused
+// paths: entry time of the first operation, then of the second. The sort is
+// stable, so timestamp ties keep the deterministic sweep emission order —
+// which is what makes the fused pass byte-identical to the per-model one.
+func sortConflicts(cs []Conflict) {
+	slices.SortStableFunc(cs, func(a, b Conflict) int {
+		switch {
+		case a.First.T != b.First.T:
+			if a.First.T < b.First.T {
+				return -1
+			}
+			return 1
+		case a.Second.T != b.Second.T:
+			if a.Second.T < b.Second.T {
+				return -1
+			}
+			return 1
+		default:
+			return 0
+		}
+	})
+}
+
+// conflictUnder evaluates one model's conflict predicate (§5.2) for a
+// time-ordered candidate pair — the shared core of DetectConflicts and the
+// fused DetectConflictsMulti:
 //
 //	(1) the pair overlaps,
 //	(2) the earlier operation is a write,
@@ -55,7 +118,22 @@ func (c Conflict) String() string {
 //	    the two operations,
 //	(4) session semantics: there is no close by the writer followed by an
 //	    open by the second process, both between the two operations.
-//
+func conflictUnder(fa *FileAccesses, model pfs.Semantics, first, second *Interval) bool {
+	switch model {
+	case pfs.Commit:
+		// Condition (3): first commit by the writer after t1 must come
+		// before t2, otherwise the pair conflicts.
+		return first.TcCommit == NoTime || first.TcCommit >= second.T
+	case pfs.Session:
+		return !sessionOrdered(fa, first, second)
+	case pfs.Eventual:
+		return true
+	}
+	return false
+}
+
+// DetectConflicts finds the conflicting access pairs of one file under the
+// given consistency model (§5.2; see conflictUnder for the conditions).
 // Under strong semantics no pairs conflict (the PFS serializes them), and
 // under eventual semantics every candidate pair conflicts (no operation
 // bounds the propagation delay).
@@ -63,22 +141,11 @@ func DetectConflicts(fa *FileAccesses, model pfs.Semantics) []Conflict {
 	if model == pfs.Strong {
 		return nil
 	}
-	var out []Conflict
-	DetectOverlaps(fa.Intervals, func(p OverlapPair) {
+	app := conflictAppender{max: MaxConflictsPerFile}
+	sweepOverlaps(fa.Intervals, false, func(p OverlapPair) {
 		first, second := &fa.Intervals[p.A], &fa.Intervals[p.B]
-		conflict := false
-		switch model {
-		case pfs.Commit:
-			// Condition (3): first commit by the writer after t1 must come
-			// before t2, otherwise the pair conflicts.
-			conflict = first.TcCommit == NoTime || first.TcCommit >= second.T
-		case pfs.Session:
-			conflict = !sessionOrdered(fa, first, second)
-		case pfs.Eventual:
-			conflict = true
-		}
-		if conflict {
-			out = append(out, Conflict{
+		if conflictUnder(fa, model, first, second) {
+			app.add(Conflict{
 				Path:        fa.Path,
 				Kind:        kindOf(second),
 				SameProcess: first.Rank == second.Rank,
@@ -87,13 +154,11 @@ func DetectConflicts(fa *FileAccesses, model pfs.Semantics) []Conflict {
 			})
 		}
 	})
-	sort.Slice(out, func(i, j int) bool {
-		if out[i].First.T != out[j].First.T {
-			return out[i].First.T < out[j].First.T
-		}
-		return out[i].Second.T < out[j].Second.T
-	})
-	return out
+	if app.suppressed > 0 {
+		conflictsSuppressed.Add(app.suppressed)
+	}
+	sortConflicts(app.out)
+	return app.out
 }
 
 func kindOf(second *Interval) ConflictKind {
@@ -135,6 +200,15 @@ func (s ConflictSignature) HasDifferentProcess() bool {
 	return s.WAWDiff || s.RAWDiff
 }
 
+// merge ORs another signature into s (class presence is monotone, so the
+// per-file merge order is immaterial).
+func (s *ConflictSignature) merge(o ConflictSignature) {
+	s.WAWSame = s.WAWSame || o.WAWSame
+	s.WAWDiff = s.WAWDiff || o.WAWDiff
+	s.RAWSame = s.RAWSame || o.RAWSame
+	s.RAWDiff = s.RAWDiff || o.RAWDiff
+}
+
 // Signature aggregates conflicts into a Table 4 row.
 func Signature(conflicts []Conflict) ConflictSignature {
 	var s ConflictSignature
@@ -153,20 +227,32 @@ func Signature(conflicts []Conflict) ConflictSignature {
 	return s
 }
 
-// AnalyzeConflicts runs extraction and conflict detection over a whole
-// trace for one model, returning conflicts per file (files without
-// conflicts omitted) and the aggregate signature.
-func AnalyzeConflicts(tr *recorder.Trace, model pfs.Semantics) (map[string][]Conflict, ConflictSignature) {
+// ConflictsOverFiles runs per-file conflict detection for one model over
+// already-extracted accesses, serially — the per-model reference the fused
+// engine is equivalence-tested against. Files without conflicts are omitted
+// from the map.
+func ConflictsOverFiles(fas []*FileAccesses, model pfs.Semantics) (map[string][]Conflict, ConflictSignature) {
 	byFile := make(map[string][]Conflict)
-	var all []Conflict
-	for _, fa := range Extract(tr) {
+	var sig ConflictSignature
+	for _, fa := range fas {
 		cs := DetectConflicts(fa, model)
 		if len(cs) > 0 {
 			byFile[fa.Path] = cs
-			all = append(all, cs...)
+			sig.merge(Signature(cs))
 		}
 	}
-	return byFile, Signature(all)
+	return byFile, sig
+}
+
+// AnalyzeConflicts runs extraction and conflict detection over a whole
+// trace for one model, returning conflicts per file (files without
+// conflicts omitted) and the aggregate signature. This is the per-model
+// oracle path: it extracts for itself (no cache) and sweeps once per model,
+// exactly as the paper's Algorithm 1 + §5.2 describe. Production callers
+// use AnalyzeConflictsAll, which shares one extraction and one sweep across
+// models.
+func AnalyzeConflicts(tr *recorder.Trace, model pfs.Semantics) (map[string][]Conflict, ConflictSignature) {
+	return ConflictsOverFiles(Extract(tr), model)
 }
 
 // Verdict is the paper's bottom line for one application (§6.3): the
@@ -183,11 +269,11 @@ type Verdict struct {
 	NeedsPerProcessOrdering bool
 }
 
-// Analyze computes the full verdict for a trace.
+// Analyze computes the full verdict for a trace, through the fused engine:
+// one (cached) extraction, one sweep evaluating both models.
 func Analyze(tr *recorder.Trace) Verdict {
-	_, session := AnalyzeConflicts(tr, pfs.Session)
-	_, commit := AnalyzeConflicts(tr, pfs.Commit)
-	return VerdictFrom(session, commit)
+	ms := AnalyzeConflictsAll(tr, pfs.Session, pfs.Commit)
+	return VerdictFrom(ms[0].Signature, ms[1].Signature)
 }
 
 // VerdictFrom derives the §6.3 verdict from the two model signatures — the

@@ -1,0 +1,96 @@
+package core
+
+import (
+	"repro/internal/pfs"
+	"repro/internal/recorder"
+)
+
+// ModelConflicts is one model's slice of a fused analysis: the per-file
+// conflict lists (files without conflicts omitted) and the aggregate
+// Table 4 signature — exactly what AnalyzeConflicts returns for that model.
+type ModelConflicts struct {
+	Model     pfs.Semantics
+	ByFile    map[string][]Conflict
+	Signature ConflictSignature
+}
+
+// DetectConflictsMulti evaluates every model's conflict predicate (§5.2) in
+// ONE offset-sorted sweep of the file's intervals, instead of one sweep per
+// model. For each candidate pair the Conflict value is built at most once
+// and shared across the models that admit it; per-model results are
+// byte-identical to DetectConflicts (same cap, same class-preserving
+// appender, same stable sort).
+func DetectConflictsMulti(fa *FileAccesses, models []pfs.Semantics) [][]Conflict {
+	out := make([][]Conflict, len(models))
+	active := 0
+	for _, m := range models {
+		if m != pfs.Strong {
+			active++
+		}
+	}
+	if active == 0 {
+		return out
+	}
+	apps := make([]conflictAppender, len(models))
+	for i := range apps {
+		apps[i].max = MaxConflictsPerFile
+	}
+	sweepOverlaps(fa.Intervals, false, func(p OverlapPair) {
+		first, second := &fa.Intervals[p.A], &fa.Intervals[p.B]
+		var c Conflict
+		built := false
+		for i, m := range models {
+			if m == pfs.Strong || !conflictUnder(fa, m, first, second) {
+				continue
+			}
+			if !built {
+				c = Conflict{
+					Path:        fa.Path,
+					Kind:        kindOf(second),
+					SameProcess: first.Rank == second.Rank,
+					First:       *first,
+					Second:      *second,
+				}
+				built = true
+			}
+			apps[i].add(c)
+		}
+	})
+	var suppressed int64
+	for i := range apps {
+		suppressed += apps[i].suppressed
+		sortConflicts(apps[i].out)
+		out[i] = apps[i].out
+	}
+	if suppressed > 0 {
+		conflictsSuppressed.Add(suppressed)
+	}
+	return out
+}
+
+// ConflictsAllOverFiles folds DetectConflictsMulti over pre-extracted
+// accesses, serially, producing one ModelConflicts per requested model.
+func ConflictsAllOverFiles(fas []*FileAccesses, models []pfs.Semantics) []ModelConflicts {
+	defer startFusedPass()()
+	ms := make([]ModelConflicts, len(models))
+	for i, m := range models {
+		ms[i] = ModelConflicts{Model: m, ByFile: make(map[string][]Conflict)}
+	}
+	for _, fa := range fas {
+		lists := DetectConflictsMulti(fa, models)
+		for i, cs := range lists {
+			if len(cs) > 0 {
+				ms[i].ByFile[fa.Path] = cs
+				ms[i].Signature.merge(Signature(cs))
+			}
+		}
+	}
+	return ms
+}
+
+// AnalyzeConflictsAll is the fused replacement for calling AnalyzeConflicts
+// once per model: one (cached) extraction, one sweep per file evaluating
+// every model's predicate. Results index-match the models argument.
+func AnalyzeConflictsAll(tr *recorder.Trace, models ...pfs.Semantics) []ModelConflicts {
+	return ConflictsAllOverFiles(ExtractShared(tr), models)
+}

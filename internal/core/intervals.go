@@ -13,7 +13,9 @@
 package core
 
 import (
+	"slices"
 	"sort"
+	"strings"
 
 	"repro/internal/recorder"
 )
@@ -65,6 +67,76 @@ type fdState struct {
 	path     string
 	offset   int64
 	appendMd bool
+	open     bool
+}
+
+// fdTableSpan bounds the dense descriptor array; larger or negative fds
+// spill to the map. The simulated POSIX layer assigns fds monotonically
+// from 3, so real traces live entirely in the dense span.
+const fdTableSpan = 4096
+
+// fdTable is the descriptor state of one rank during extraction: a dense
+// slice for small fds (the overwhelmingly common case — no hashing in the
+// per-record hot loop) with a map fallback for out-of-span descriptors.
+type fdTable struct {
+	small []fdState
+	big   map[int64]*fdState
+}
+
+// get returns the live state for fd, or nil.
+func (t *fdTable) get(fd int64) *fdState {
+	if fd >= 0 && fd < int64(len(t.small)) {
+		if st := &t.small[fd]; st.open {
+			return st
+		}
+		return nil
+	}
+	return t.big[fd]
+}
+
+// set records fd as open with the given state.
+func (t *fdTable) set(fd int64, st fdState) {
+	st.open = true
+	if fd >= 0 && fd < fdTableSpan {
+		if fd >= int64(len(t.small)) {
+			n := int64(cap(t.small))
+			if n < 16 {
+				n = 16
+			}
+			for n <= fd {
+				n *= 2
+			}
+			if n > fdTableSpan {
+				n = fdTableSpan
+			}
+			grown := make([]fdState, n)
+			copy(grown, t.small)
+			t.small = grown
+		}
+		t.small[fd] = st
+		return
+	}
+	if t.big == nil {
+		t.big = make(map[int64]*fdState)
+	}
+	t.big[fd] = &st
+}
+
+// closeFD removes fd and returns its former state, or nil if not open. The
+// returned pointer is only valid until the slot is reused by a later set.
+func (t *fdTable) closeFD(fd int64) *fdState {
+	if fd >= 0 && fd < int64(len(t.small)) {
+		if st := &t.small[fd]; st.open {
+			st.open = false
+			return st
+		}
+		return nil
+	}
+	if st, ok := t.big[fd]; ok {
+		delete(t.big, fd)
+		return st
+	}
+	return nil
 }
 
 // Extract reconstructs per-file access intervals from a trace. It walks
@@ -103,8 +175,8 @@ func extractRank(rs []recorder.Record, files map[string]*FileAccesses) {
 		return fa
 	}
 
-	fds := make(map[int64]*fdState)
-	sizeByPath := make(map[string]int64) // this rank's view, for O_APPEND
+	var fds fdTable
+	sizeByPath := make(map[string]int64, 8) // this rank's view, for O_APPEND
 	origins, phases := attributeOrigins(rs)
 
 	noteSize := func(path string, end int64) {
@@ -125,31 +197,26 @@ func extractRank(rs []recorder.Record, files map[string]*FileAccesses) {
 				continue // failed open
 			}
 			flags := int(r.Arg(0))
-			st := &fdState{path: r.Path, appendMd: flags&recorder.OAppend != 0}
-			fds[fd] = st
+			fds.set(fd, fdState{path: r.Path, appendMd: flags&recorder.OAppend != 0})
 			if flags&recorder.OTrunc != 0 {
 				sizeByPath[r.Path] = 0
 			}
 			fa := get(r.Path)
 			fa.OpensByRank[r.Rank] = append(fa.OpensByRank[r.Rank], r.TStart)
 		case r.IsCloseOp():
-			fd := r.Arg(0)
-			if st, ok := fds[fd]; ok {
+			if st := fds.closeFD(r.Arg(0)); st != nil {
 				fa := get(st.path)
 				fa.ClosesByRank[r.Rank] = append(fa.ClosesByRank[r.Rank], r.TStart)
 				fa.CommitsByRank[r.Rank] = append(fa.CommitsByRank[r.Rank], r.TStart)
-				delete(fds, fd)
 			}
 		case r.Func == recorder.FuncFsync || r.Func == recorder.FuncFdatasync || r.Func == recorder.FuncFflush:
-			fd := r.Arg(0)
-			if st, ok := fds[fd]; ok {
+			if st := fds.get(r.Arg(0)); st != nil {
 				fa := get(st.path)
 				fa.CommitsByRank[r.Rank] = append(fa.CommitsByRank[r.Rank], r.TStart)
 			}
 		case r.Func == recorder.FuncLseek || r.Func == recorder.FuncFseek:
-			fd := r.Arg(0)
-			st, ok := fds[fd]
-			if !ok {
+			st := fds.get(r.Arg(0))
+			if st == nil {
 				continue
 			}
 			off, whence, ret := r.Arg(1), r.Arg(2), r.Arg(3)
@@ -165,13 +232,13 @@ func extractRank(rs []recorder.Record, files map[string]*FileAccesses) {
 				st.offset = ret
 			}
 		case r.Func == recorder.FuncFtruncate:
-			if st, ok := fds[r.Arg(0)]; ok {
+			if st := fds.get(r.Arg(0)); st != nil {
 				sizeByPath[st.path] = r.Arg(1)
 			}
 		case r.Func == recorder.FuncTruncate:
 			sizeByPath[r.Path] = r.Arg(1)
 		case r.IsDataOp():
-			iv, path, ok := dataInterval(r, fds, sizeByPath)
+			iv, path, ok := dataInterval(r, &fds, sizeByPath)
 			if !ok {
 				continue
 			}
@@ -190,20 +257,20 @@ func sortedFiles(files map[string]*FileAccesses) []*FileAccesses {
 	for _, fa := range files {
 		out = append(out, fa)
 	}
-	sort.Slice(out, func(i, j int) bool { return out[i].Path < out[j].Path })
+	slices.SortFunc(out, func(a, b *FileAccesses) int { return strings.Compare(a.Path, b.Path) })
 	return out
 }
 
 // dataInterval converts a data-op record into an interval, updating the
 // descriptor offset state.
-func dataInterval(r *recorder.Record, fds map[int64]*fdState, sizeByPath map[string]int64) (Interval, string, bool) {
+func dataInterval(r *recorder.Record, fds *fdTable, sizeByPath map[string]int64) (Interval, string, bool) {
 	iv := Interval{T: r.TStart, TEnd: r.TEnd, Rank: r.Rank, Write: r.IsWriteOp(),
 		To: NoTime, TcCommit: NoTime, TcClose: NoTime}
 	var st *fdState
 	var n int64
 	switch r.Func {
 	case recorder.FuncRead, recorder.FuncWrite, recorder.FuncReadv, recorder.FuncWritev:
-		st = fds[r.Arg(0)]
+		st = fds.get(r.Arg(0))
 		if st == nil {
 			return iv, "", false
 		}
@@ -218,7 +285,7 @@ func dataInterval(r *recorder.Record, fds map[int64]*fdState, sizeByPath map[str
 		iv.Os, iv.Oe = off, off+n
 		st.offset = off + n
 	case recorder.FuncFread, recorder.FuncFwrite:
-		st = fds[r.Arg(0)]
+		st = fds.get(r.Arg(0))
 		if st == nil {
 			return iv, "", false
 		}
@@ -233,7 +300,7 @@ func dataInterval(r *recorder.Record, fds map[int64]*fdState, sizeByPath map[str
 		iv.Os, iv.Oe = off, off+n
 		st.offset = off + n
 	case recorder.FuncPread, recorder.FuncPwrite:
-		st = fds[r.Arg(0)]
+		st = fds.get(r.Arg(0))
 		if st == nil {
 			return iv, "", false
 		}

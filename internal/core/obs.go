@@ -1,6 +1,7 @@
 package core
 
 import (
+	"runtime/metrics"
 	"time"
 
 	"repro/internal/obs"
@@ -27,14 +28,26 @@ var (
 	poolUtilization = obs.Default().Gauge("core.pool.utilization_pct")
 
 	passDur = map[string]*obs.Histogram{
-		"extract":        obs.Default().Histogram("core.pass.extract.wall_ns"),
-		"conflicts":      obs.Default().Histogram("core.pass.conflicts.wall_ns"),
-		"patterns":       obs.Default().Histogram("core.pass.patterns.wall_ns"),
-		"classify":       obs.Default().Histogram("core.pass.classify.wall_ns"),
-		"census":         obs.Default().Histogram("core.pass.census.wall_ns"),
-		"meta-conflicts": obs.Default().Histogram("core.pass.meta-conflicts.wall_ns"),
-		"analyze":        obs.Default().Histogram("core.pass.analyze.wall_ns"),
+		"extract":         obs.Default().Histogram("core.pass.extract.wall_ns"),
+		"conflicts":       obs.Default().Histogram("core.pass.conflicts.wall_ns"),
+		"fused-conflicts": obs.Default().Histogram("core.pass.fused-conflicts.wall_ns"),
+		"patterns":        obs.Default().Histogram("core.pass.patterns.wall_ns"),
+		"classify":        obs.Default().Histogram("core.pass.classify.wall_ns"),
+		"census":          obs.Default().Histogram("core.pass.census.wall_ns"),
+		"meta-conflicts":  obs.Default().Histogram("core.pass.meta-conflicts.wall_ns"),
+		"analyze":         obs.Default().Histogram("core.pass.analyze.wall_ns"),
 	}
+
+	// Fused engine instruments (DESIGN.md §11): extraction-cache traffic,
+	// rank-table accumulator selection, conflict-cap suppression, and the
+	// heap bytes allocated per fused conflict pass.
+	extractCacheHits      = obs.Default().Counter("core.extract.cache.hits")
+	extractCacheMisses    = obs.Default().Counter("core.extract.cache.misses")
+	extractCacheEvictions = obs.Default().Counter("core.extract.cache.evictions")
+	sweepDenseTables      = obs.Default().Counter("core.sweep.dense_tables")
+	sweepMapTables        = obs.Default().Counter("core.sweep.map_tables")
+	conflictsSuppressed   = obs.Default().Counter("core.conflicts.suppressed")
+	fusedAllocBytes       = obs.Default().Histogram("core.pass.fused-conflicts.alloc_bytes")
 )
 
 // startPass opens a span plus a wall-clock histogram sample for one
@@ -48,5 +61,31 @@ func startPass(name string) func() {
 	return func() {
 		span.End()
 		h.Observe(time.Since(start).Nanoseconds())
+	}
+}
+
+// heapAllocBytes reads the cumulative heap-allocation byte counter. The
+// runtime/metrics read costs ~1µs, so the fused pass only samples it when
+// the registry is enabled.
+func heapAllocBytes() uint64 {
+	s := []metrics.Sample{{Name: "/gc/heap/allocs:bytes"}}
+	metrics.Read(s)
+	return s[0].Value.Uint64()
+}
+
+// startFusedPass wraps one fused conflict pass with the standard wall-time
+// span/histogram plus a bytes-allocated histogram. Allocation attribution is
+// goroutine-agnostic (it reads the process-wide counter), so it is only
+// meaningful for the serial fused pass; the parallel path records wall time
+// only.
+func startFusedPass() func() {
+	done := startPass("fused-conflicts")
+	if !obs.Default().Enabled() {
+		return done
+	}
+	before := heapAllocBytes()
+	return func() {
+		fusedAllocBytes.Observe(int64(heapAllocBytes() - before))
+		done()
 	}
 }

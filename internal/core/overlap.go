@@ -1,6 +1,9 @@
 package core
 
-import "sort"
+import (
+	"slices"
+	"sync"
+)
 
 // OverlapPair indexes two overlapping intervals within a FileAccesses'
 // Intervals slice, ordered so that Intervals[A].T <= Intervals[B].T.
@@ -12,6 +15,23 @@ type OverlapPair struct {
 // pairs per (rank, rank) pair, with the smaller rank first.
 type RankPairTable map[[2]int32]int
 
+// denseRankLimit bounds the rank universe served by the dense rank-pair
+// accumulator; larger (or negative) ranks fall back to the map. 256 ranks
+// costs a 256 KiB pooled scratch table, far past the registry's scales.
+const denseRankLimit = 256
+
+// sweepBuf is the reusable scratch of one overlap sweep: the index
+// permutation Algorithm 1 sorts, and the dense rank-pair accumulator with
+// its touched-cell list. Pooled so the per-file conflict sweep allocates
+// nothing beyond its outputs.
+type sweepBuf struct {
+	idx     []int32
+	dense   []int32 // denseRankLimit*denseRankLimit cells, zeroed between uses
+	touched []int32 // dense cells written this sweep, for O(touched) reset
+}
+
+var sweepBufs = sync.Pool{New: func() any { return new(sweepBuf) }}
+
 // DetectOverlaps implements Algorithm 1: sort the tuples by starting
 // offset, then sweep — for each interval, scan forward until an interval
 // starts at or beyond its end (subsequent tuples cannot overlap it). The
@@ -21,38 +41,107 @@ type RankPairTable map[[2]int32]int
 // where the earlier operation is a write — the candidate conflicts of §4.1;
 // read-read overlaps are tallied in the table but never materialized, which
 // keeps read-heavy workloads (e.g. LBANN, where every rank reads the whole
-// file) from generating quadratic pair lists.
+// file) from generating quadratic pair lists. (The conflict layer adds the
+// write-side counterpart of that guard: see MaxConflictsPerFile.)
 func DetectOverlaps(ivs []Interval, onPair func(OverlapPair)) RankPairTable {
-	table := make(RankPairTable)
-	if len(ivs) < 2 {
-		return table
+	table := sweepOverlaps(ivs, true, onPair)
+	if table == nil {
+		table = make(RankPairTable)
 	}
-	idx := make([]int, len(ivs))
-	for i := range idx {
-		idx[i] = i
-	}
-	sort.Slice(idx, func(a, b int) bool {
-		ia, ib := &ivs[idx[a]], &ivs[idx[b]]
-		if ia.Os != ib.Os {
-			return ia.Os < ib.Os
+	return table
+}
+
+// sweepOverlaps is the engine behind DetectOverlaps and the fused conflict
+// pass: one offset-sorted sweep over a pooled index permutation. When
+// wantTable is false (the conflict paths, which discard the table) no
+// rank-pair accounting runs at all; when true, small rank universes are
+// counted in a pooled dense table and converted to the map form once at the
+// end, so the hot loop never hashes.
+func sweepOverlaps(ivs []Interval, wantTable bool, onPair func(OverlapPair)) RankPairTable {
+	n := len(ivs)
+	if n < 2 {
+		if wantTable {
+			return make(RankPairTable)
 		}
-		return ia.T < ib.T
+		return nil
+	}
+	sb := sweepBufs.Get().(*sweepBuf)
+	defer sweepBufs.Put(sb)
+	if cap(sb.idx) < n {
+		sb.idx = make([]int32, n)
+	}
+	idx := sb.idx[:n]
+	minRank, maxRank := ivs[0].Rank, ivs[0].Rank
+	for i := 0; i < n; i++ {
+		idx[i] = int32(i)
+		if r := ivs[i].Rank; r < minRank {
+			minRank = r
+		} else if r > maxRank {
+			maxRank = r
+		}
+	}
+	// Total order (offset, time, index): deterministic regardless of input
+	// permutation, and a typed comparator — no reflect-based swaps.
+	slices.SortFunc(idx, func(a, b int32) int {
+		ia, ib := &ivs[a], &ivs[b]
+		switch {
+		case ia.Os != ib.Os:
+			if ia.Os < ib.Os {
+				return -1
+			}
+			return 1
+		case ia.T != ib.T:
+			if ia.T < ib.T {
+				return -1
+			}
+			return 1
+		default:
+			return int(a - b)
+		}
 	})
-	for a := 0; a < len(idx); a++ {
+
+	var table RankPairTable
+	dense := minRank >= 0 && maxRank < denseRankLimit
+	if wantTable {
+		if dense {
+			if sb.dense == nil {
+				sb.dense = make([]int32, denseRankLimit*denseRankLimit)
+			}
+			sweepDenseTables.Inc()
+		} else {
+			table = make(RankPairTable)
+			sweepMapTables.Inc()
+		}
+	}
+
+	for a := 0; a < n; a++ {
 		ia := &ivs[idx[a]]
-		for b := a + 1; b < len(idx); b++ {
+		for b := a + 1; b < n; b++ {
 			ib := &ivs[idx[b]]
 			if ib.Os >= ia.Oe {
 				break // sorted by Os: no later tuple overlaps ia
 			}
-			key := rankKey(ia.Rank, ib.Rank)
-			table[key]++
+			if wantTable {
+				if dense {
+					lo, hi := ia.Rank, ib.Rank
+					if lo > hi {
+						lo, hi = hi, lo
+					}
+					cell := int32(lo)*denseRankLimit + int32(hi)
+					if sb.dense[cell] == 0 {
+						sb.touched = append(sb.touched, cell)
+					}
+					sb.dense[cell]++
+				} else {
+					table[rankKey(ia.Rank, ib.Rank)]++
+				}
+			}
 			if onPair == nil {
 				continue
 			}
 			// Time-order the pair; candidate conflicts need the earlier
 			// operation to be a write.
-			first, second := idx[a], idx[b]
+			first, second := int(idx[a]), int(idx[b])
 			if earlier(ivs, second, first) {
 				first, second = second, first
 			}
@@ -60,6 +149,15 @@ func DetectOverlaps(ivs []Interval, onPair func(OverlapPair)) RankPairTable {
 				onPair(OverlapPair{A: first, B: second})
 			}
 		}
+	}
+
+	if wantTable && dense {
+		table = make(RankPairTable, len(sb.touched))
+		for _, cell := range sb.touched {
+			table[[2]int32{cell / denseRankLimit, cell % denseRankLimit}] = int(sb.dense[cell])
+			sb.dense[cell] = 0
+		}
+		sb.touched = sb.touched[:0]
 	}
 	return table
 }

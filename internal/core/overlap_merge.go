@@ -2,7 +2,7 @@ package core
 
 import (
 	"container/heap"
-	"sort"
+	"slices"
 	"sync"
 )
 
@@ -32,12 +32,22 @@ func DetectOverlapsMerge(ivs []Interval, onPair func(OverlapPair)) RankPairTable
 		wg.Add(1)
 		go func(l []int) {
 			defer wg.Done()
-			sort.Slice(l, func(a, b int) bool {
-				ia, ib := &ivs[l[a]], &ivs[l[b]]
-				if ia.Os != ib.Os {
-					return ia.Os < ib.Os
+			slices.SortFunc(l, func(a, b int) int {
+				ia, ib := &ivs[a], &ivs[b]
+				switch {
+				case ia.Os != ib.Os:
+					if ia.Os < ib.Os {
+						return -1
+					}
+					return 1
+				case ia.T != ib.T:
+					if ia.T < ib.T {
+						return -1
+					}
+					return 1
+				default:
+					return a - b
 				}
-				return ia.T < ib.T
 			})
 		}(l)
 	}

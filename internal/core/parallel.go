@@ -202,9 +202,41 @@ func AnalyzeConflictsParallel(tr *recorder.Trace, model pfs.Semantics, workers i
 	return ConflictsForFiles(ExtractParallel(tr, workers), model, workers)
 }
 
-// AnalyzeParallel is the sharded Analyze: one extraction, then both model
-// sweeps scattered over a single pool (session tasks first, commit tasks
-// after, so every worker stays busy across the model boundary).
+// ConflictsAllForFiles runs the fused multi-model sweep over
+// already-extracted accesses on a worker pool, merging in path order —
+// per-model results are identical to ConflictsForFiles. fas must not be
+// mutated concurrently.
+func ConflictsAllForFiles(fas []*FileAccesses, models []pfs.Semantics, workers int) []ModelConflicts {
+	ms, _ := ConflictsAllForFilesCtx(context.Background(), fas, models, workers)
+	return ms
+}
+
+// ConflictsAllForFilesCtx is ConflictsAllForFiles under a context.
+func ConflictsAllForFilesCtx(ctx context.Context, fas []*FileAccesses, models []pfs.Semantics, workers int) ([]ModelConflicts, error) {
+	defer startPass("fused-conflicts")()
+	per := make([][][]Conflict, len(fas))
+	if err := ParallelForCtx(ctx, len(fas), workers, func(i int) {
+		per[i] = DetectConflictsMulti(fas[i], models)
+	}); err != nil {
+		return nil, err
+	}
+	ms := make([]ModelConflicts, len(models))
+	for j, m := range models {
+		ms[j] = ModelConflicts{Model: m, ByFile: make(map[string][]Conflict)}
+	}
+	for i, fa := range fas { // path order
+		for j, cs := range per[i] {
+			if len(cs) > 0 {
+				ms[j].ByFile[fa.Path] = cs
+				ms[j].Signature.merge(Signature(cs))
+			}
+		}
+	}
+	return ms, nil
+}
+
+// AnalyzeParallel is the sharded Analyze: one (cached) extraction, then one
+// fused sweep evaluating both model predicates per candidate pair.
 func AnalyzeParallel(tr *recorder.Trace, workers int) Verdict {
 	v, _ := AnalyzeParallelCtx(context.Background(), tr, workers)
 	return v
@@ -214,27 +246,15 @@ func AnalyzeParallel(tr *recorder.Trace, workers int) Verdict {
 // stops the sweep within one per-file task boundary and returns ctx.Err().
 func AnalyzeParallelCtx(ctx context.Context, tr *recorder.Trace, workers int) (Verdict, error) {
 	defer startPass("analyze")()
-	fas, err := ExtractParallelCtx(ctx, tr, workers)
+	fas, err := ExtractSharedCtx(ctx, tr, workers)
 	if err != nil {
 		return Verdict{}, err
 	}
-	n := len(fas)
-	per := make([][]Conflict, 2*n)
-	if err := ParallelForCtx(ctx, 2*n, workers, func(i int) {
-		if i < n {
-			per[i] = DetectConflicts(fas[i], pfs.Session)
-		} else {
-			per[i] = DetectConflicts(fas[i-n], pfs.Commit)
-		}
-	}); err != nil {
+	ms, err := ConflictsAllForFilesCtx(ctx, fas, []pfs.Semantics{pfs.Session, pfs.Commit}, workers)
+	if err != nil {
 		return Verdict{}, err
 	}
-	var session, commit []Conflict
-	for i := 0; i < n; i++ {
-		session = append(session, per[i]...)
-		commit = append(commit, per[n+i]...)
-	}
-	return VerdictFrom(Signature(session), Signature(commit)), nil
+	return VerdictFrom(ms[0].Signature, ms[1].Signature), nil
 }
 
 // MetadataCensusParallel is the sharded MetadataCensus: per-rank partial

@@ -188,6 +188,10 @@ var execute = apps.Execute
 // surface as rank errors already; this guards the sweep machinery itself)
 // becomes that cell's error instead of killing the whole sweep.
 func runCell(ctx context.Context, cfg *apps.Config, s Scale, timeout time.Duration) (*harness.Result, error) {
+	// Read the seam once, synchronously: a timed-out cell's goroutine can
+	// outlive the sweep, and must not touch the package variable after the
+	// caller (or a test's cleanup) moves on.
+	exec := execute
 	run := func() (res *harness.Result, err error) {
 		span := obs.Default().Tracer().Start(cfg.Name(), "experiments.config")
 		start := time.Now()
@@ -203,7 +207,7 @@ func runCell(ctx context.Context, cfg *apps.Config, s Scale, timeout time.Durati
 				configOK.Inc()
 			}
 		}()
-		r, e := execute(cfg, apps.Options{
+		r, e := exec(cfg, apps.Options{
 			Ranks: s.Ranks, PPN: s.PPN, Seed: s.Seed, Semantics: s.Semantics,
 			Params: s.Params,
 		})
@@ -270,7 +274,7 @@ func Table1() string { return report.Table1() }
 func Table3(r *Results) string {
 	var rows []report.Table3Row
 	for _, name := range r.Ordered {
-		fas := core.Extract(r.ByName[name].Trace)
+		fas := core.ExtractShared(r.ByName[name].Trace)
 		rows = append(rows, report.Table3Row{
 			Config:   name,
 			Patterns: core.ClassifyHighLevel(fas, core.HLOptions{WorldSize: r.Scale.Ranks}),
@@ -290,11 +294,10 @@ func Table4Rows(r *Results) []report.Table4Row {
 	var rows []report.Table4Row
 	for _, name := range r.Ordered {
 		tr := r.ByName[name].Trace
-		_, session := core.AnalyzeConflicts(tr, pfs.Session)
-		_, commit := core.AnalyzeConflicts(tr, pfs.Commit)
+		ms := core.AnalyzeConflictsAll(tr, pfs.Session, pfs.Commit)
 		rows = append(rows, report.Table4Row{
 			Config: name, Library: tr.Meta.Library,
-			Session: session, Commit: commit,
+			Session: ms[0].Signature, Commit: ms[1].Signature,
 		})
 	}
 	return rows
@@ -314,7 +317,7 @@ func Table5() string {
 func Figure1(r *Results) (string, string) {
 	var rows []report.Figure1Row
 	for _, name := range r.Ordered {
-		fas := core.Extract(r.ByName[name].Trace)
+		fas := core.ExtractShared(r.ByName[name].Trace)
 		rows = append(rows, report.Figure1Row{
 			Config: name,
 			Global: core.GlobalPattern(fas),
@@ -335,14 +338,15 @@ func Figure2(r *Results) map[string]string {
 		if !ok {
 			continue
 		}
-		panels["flash_"+variant+"_checkpoint.csv"] = report.Figure2CSV(res.Trace, "/flash_hdf5_chk_0000")
-		panels["flash_"+variant+"_plot.csv"] = report.Figure2CSV(res.Trace, "/flash_hdf5_plt_cnt_0000")
+		fas := core.ExtractShared(res.Trace)
+		chkCSV := report.Figure2CSVOf(fas, "/flash_hdf5_chk_0000")
+		panels["flash_"+variant+"_checkpoint.csv"] = chkCSV
+		panels["flash_"+variant+"_plot.csv"] = report.Figure2CSVOf(fas, "/flash_hdf5_plt_cnt_0000")
 		// Single-rank view (Figure 2f): rank 0's accesses only.
-		panels["flash_"+variant+"_checkpoint_rank0.csv"] = filterCSVRank(
-			report.Figure2CSV(res.Trace, "/flash_hdf5_chk_0000"), 0)
-		panels["flash_"+variant+"_checkpoint.svg"] = report.Figure2SVG(res.Trace,
+		panels["flash_"+variant+"_checkpoint_rank0.csv"] = filterCSVRank(chkCSV, 0)
+		panels["flash_"+variant+"_checkpoint.svg"] = report.Figure2SVGOf(fas,
 			"/flash_hdf5_chk_0000", "FLASH-"+variant+" checkpoint file, write accesses over time")
-		panels["flash_"+variant+"_plot.svg"] = report.Figure2SVG(res.Trace,
+		panels["flash_"+variant+"_plot.svg"] = report.Figure2SVGOf(fas,
 			"/flash_hdf5_plt_cnt_0000", "FLASH-"+variant+" plot file, write accesses over time")
 	}
 	return panels

@@ -186,7 +186,13 @@ func writeBar(b *strings.Builder, label string, m core.PatternMix) {
 // Figure2CSV emits the FLASH access-over-time scatter data of Figure 2 for
 // the write operations of one file: time_us, rank, offset, bytes. The
 // separate checkpoint/plot files and fbs/nofbs variants give the six panels.
+// Extraction goes through the process-wide cache.
 func Figure2CSV(tr *recorder.Trace, path string) string {
+	return Figure2CSVOf(core.ExtractShared(tr), path)
+}
+
+// Figure2CSVOf is Figure2CSV over pre-extracted accesses.
+func Figure2CSVOf(fas []*core.FileAccesses, path string) string {
 	var b strings.Builder
 	b.WriteString("time_us,rank,offset,bytes\n")
 	type row struct {
@@ -195,7 +201,7 @@ func Figure2CSV(tr *recorder.Trace, path string) string {
 		off, nbytes int64
 	}
 	var rows []row
-	for _, fa := range core.Extract(tr) {
+	for _, fa := range fas {
 		if fa.Path != path {
 			continue
 		}

@@ -2,6 +2,7 @@ package report
 
 import (
 	"fmt"
+	"slices"
 	"sort"
 	"strings"
 
@@ -40,8 +41,17 @@ type FileReport struct {
 	CommitConflicts  int
 }
 
-// BuildRunReport computes the digest for a trace.
+// BuildRunReport computes the digest for a trace, extracting through the
+// process-wide cache (so a report after an analysis pays no second
+// extraction).
 func BuildRunReport(tr *recorder.Trace) *RunReport {
+	return BuildRunReportFrom(tr, core.ExtractShared(tr))
+}
+
+// BuildRunReportFrom computes the digest from pre-extracted accesses —
+// callers that already hold the extraction (or a cache handle) pass it in
+// instead of re-extracting. fas is read, never mutated.
+func BuildRunReportFrom(tr *recorder.Trace, fas []*core.FileAccesses) *RunReport {
 	rep := &RunReport{
 		Config:        tr.Meta.ConfigName(),
 		Ranks:         tr.Meta.Ranks,
@@ -60,7 +70,8 @@ func BuildRunReport(tr *recorder.Trace) *RunReport {
 			m[r.Func]++
 		}
 	}
-	fas := core.Extract(tr)
+	models := []pfs.Semantics{pfs.Session, pfs.Commit}
+	rep.Files = make([]FileReport, 0, len(fas))
 	for _, fa := range fas {
 		fr := FileReport{Path: fa.Path}
 		ranks := map[int32]bool{}
@@ -79,11 +90,12 @@ func BuildRunReport(tr *recorder.Trace) *RunReport {
 			rep.SizeHistogram.Observe(n)
 		}
 		fr.Ranks = len(ranks)
-		fr.SessionConflicts = len(core.DetectConflicts(fa, pfs.Session))
-		fr.CommitConflicts = len(core.DetectConflicts(fa, pfs.Commit))
+		lists := core.DetectConflictsMulti(fa, models)
+		fr.SessionConflicts = len(lists[0])
+		fr.CommitConflicts = len(lists[1])
 		rep.Files = append(rep.Files, fr)
 	}
-	sort.Slice(rep.Files, func(i, j int) bool { return rep.Files[i].Path < rep.Files[j].Path })
+	slices.SortFunc(rep.Files, func(a, b FileReport) int { return strings.Compare(a.Path, b.Path) })
 	return rep
 }
 

@@ -12,8 +12,14 @@ import (
 // Figure2SVG renders the offset-over-time scatter of one file's writes as a
 // standalone SVG (the visual form of the paper's Figure 2 panels), with one
 // color per rank and marker size scaled by access size. Pure stdlib — the
-// SVG is assembled textually.
+// SVG is assembled textually. Extraction goes through the process-wide
+// cache.
 func Figure2SVG(tr *recorder.Trace, path, title string) string {
+	return Figure2SVGOf(core.ExtractShared(tr), path, title)
+}
+
+// Figure2SVGOf is Figure2SVG over pre-extracted accesses.
+func Figure2SVGOf(fas []*core.FileAccesses, path, title string) string {
 	type pt struct {
 		t    uint64
 		rank int32
@@ -24,7 +30,7 @@ func Figure2SVG(tr *recorder.Trace, path, title string) string {
 	var tMax uint64
 	var offMax int64
 	ranks := make(map[int32]bool)
-	for _, fa := range core.Extract(tr) {
+	for _, fa := range fas {
 		if fa.Path != path {
 			continue
 		}

@@ -156,14 +156,17 @@ type Analysis struct {
 }
 
 // Analyze runs the full paper analysis over a trace. This is the serial
-// reference path — the oracle AnalyzeParallel is tested against.
+// reference path — the oracle AnalyzeParallel is tested against — so every
+// pass here is strictly sequential and per-model (no fused sweep, no
+// extraction cache): the trace is extracted once up front and each model's
+// conflicts are detected independently.
 func Analyze(tr *recorder.Trace) *Analysis {
 	fas := core.Extract(tr)
-	sessionByFile, _ := core.AnalyzeConflicts(tr, pfs.Session)
-	commitByFile, _ := core.AnalyzeConflicts(tr, pfs.Commit)
+	sessionByFile, sessionSig := core.ConflictsOverFiles(fas, pfs.Session)
+	commitByFile, commitSig := core.ConflictsOverFiles(fas, pfs.Commit)
 	metaConflicts := core.DetectMetadataConflicts(tr)
 	return &Analysis{
-		Verdict:          core.Analyze(tr),
+		Verdict:          core.VerdictFrom(sessionSig, commitSig),
 		SessionConflicts: sessionByFile,
 		CommitConflicts:  commitByFile,
 		Patterns:         core.ClassifyHighLevel(fas, core.HLOptions{WorldSize: tr.Meta.Ranks}),
@@ -176,13 +179,15 @@ func Analyze(tr *recorder.Trace) *Analysis {
 }
 
 // AnalyzeParallel runs the same analysis concurrently: the trace is
-// extracted once with rank-sharded extraction, then the five independent
-// passes (session conflicts, commit conflicts, pattern classification +
-// Figure 1 mixes, metadata census, metadata-conflict detection) fan out as
-// a scatter/gather, each internally sharded across a pool of the given
-// size (workers <= 0 selects runtime.GOMAXPROCS). Every merge is
-// deterministic, so the result is identical to Analyze — the serial path
-// stays the correctness oracle (see TestAnalyzeParallelMatchesSerial).
+// extracted once with rank-sharded extraction (through the process-wide
+// extraction cache, so repeated analyses of one trace share the work), then
+// the four independent passes (fused session+commit conflict sweep, pattern
+// classification + Figure 1 mixes, metadata census, metadata-conflict
+// detection) fan out as a scatter/gather, each internally sharded across a
+// pool of the given size (workers <= 0 selects runtime.GOMAXPROCS). Every
+// merge is deterministic, so the result is identical to Analyze — the
+// serial path stays the correctness oracle (see
+// TestAnalyzeParallelMatchesSerial).
 func AnalyzeParallel(tr *recorder.Trace, workers int) *Analysis {
 	an, _ := AnalyzeParallelCtx(context.Background(), tr, workers)
 	return an
@@ -193,20 +198,20 @@ func AnalyzeParallel(tr *recorder.Trace, workers int) *Analysis {
 // starts once ctx is done) and the call returns ctx.Err() instead of a
 // partial Analysis.
 func AnalyzeParallelCtx(ctx context.Context, tr *recorder.Trace, workers int) (*Analysis, error) {
-	fas, err := core.ExtractParallelCtx(ctx, tr, workers)
+	fas, err := core.ExtractSharedCtx(ctx, tr, workers)
 	if err != nil {
 		return nil, err
 	}
 	an := &Analysis{}
 	var sessionSig, commitSig core.ConflictSignature
 
-	// The scatter/gather fans the five passes out as named spans under one
+	// The scatter/gather fans the four passes out as named spans under one
 	// root, so a -trace-spans export shows which pass dominates the wall
 	// clock and how the passes overlap.
 	root := obs.Default().Tracer().Start("analyze", "semfs")
 	defer root.End()
 	var wg sync.WaitGroup
-	errs := make([]error, 5)
+	errs := make([]error, 4)
 	launch := func(i int, name string, f func() error) {
 		wg.Add(1)
 		go func() {
@@ -216,15 +221,16 @@ func AnalyzeParallelCtx(ctx context.Context, tr *recorder.Trace, workers int) (*
 			span.End()
 		}()
 	}
-	launch(0, "session-conflicts", func() (err error) {
-		an.SessionConflicts, sessionSig, err = core.ConflictsForFilesCtx(ctx, fas, pfs.Session, workers)
-		return err
+	launch(0, "conflicts", func() error {
+		ms, err := core.ConflictsAllForFilesCtx(ctx, fas, []pfs.Semantics{pfs.Session, pfs.Commit}, workers)
+		if err != nil {
+			return err
+		}
+		an.SessionConflicts, sessionSig = ms[0].ByFile, ms[0].Signature
+		an.CommitConflicts, commitSig = ms[1].ByFile, ms[1].Signature
+		return nil
 	})
-	launch(1, "commit-conflicts", func() (err error) {
-		an.CommitConflicts, commitSig, err = core.ConflictsForFilesCtx(ctx, fas, pfs.Commit, workers)
-		return err
-	})
-	launch(2, "patterns", func() (err error) {
+	launch(1, "patterns", func() (err error) {
 		if an.Patterns, err = core.ClassifyHighLevelParallelCtx(ctx, fas, core.HLOptions{WorldSize: tr.Meta.Ranks}, workers); err != nil {
 			return err
 		}
@@ -234,11 +240,11 @@ func AnalyzeParallelCtx(ctx context.Context, tr *recorder.Trace, workers int) (*
 		an.Local, err = core.LocalPatternParallelCtx(ctx, fas, workers)
 		return err
 	})
-	launch(3, "census", func() (err error) {
+	launch(2, "census", func() (err error) {
 		an.Census, err = core.MetadataCensusParallelCtx(ctx, tr, workers)
 		return err
 	})
-	launch(4, "meta-conflicts", func() (err error) {
+	launch(3, "meta-conflicts", func() (err error) {
 		if an.MetaConflicts, err = core.DetectMetadataConflictsParallelCtx(ctx, tr, workers); err != nil {
 			return err
 		}
@@ -267,7 +273,7 @@ func ValidateSynchronization(tr *recorder.Trace) ([]core.Conflict, error) {
 	if err != nil {
 		return nil, err
 	}
-	byFile, _ := core.AnalyzeConflicts(tr, pfs.Session)
+	byFile, _ := core.ConflictsOverFiles(core.ExtractShared(tr), pfs.Session)
 	var unordered []core.Conflict
 	for _, cs := range byFile {
 		unordered = append(unordered, core.ValidateConflicts(hb, cs)...)
