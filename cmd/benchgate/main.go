@@ -11,6 +11,12 @@
 // when -ns-threshold is set, because wall-clock baselines do not transfer
 // across hosts (CI runners differ from the machine that emitted the
 // baseline).
+//
+// Exit codes: 0 = within thresholds, 1 = regression or missing benchmark,
+// 2 = usage/input error (bad stdin, no benchmark lines), 4 = the baseline
+// file itself is missing, unreadable, unparsable or empty — distinct from
+// a regression so CI can tell "the code got slower" apart from "the gate
+// is not wired up".
 package main
 
 import (
@@ -37,6 +43,30 @@ type Baseline struct {
 }
 
 var gomaxprocsSuffix = regexp.MustCompile(`-\d+$`)
+
+// exitBadBaseline distinguishes a broken gate (baseline missing, unreadable,
+// unparsable or empty) from a genuine regression (exit 1) or bad input
+// (exit 2).
+const exitBadBaseline = 4
+
+// loadBaseline reads and validates a baseline file. Every failure mode
+// names the path and the reason — this file is checked in and referenced
+// from CI, so "why did the gate not run" must be answerable from the
+// message alone.
+func loadBaseline(path string) (Baseline, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return Baseline{}, fmt.Errorf("baseline %s: %w (regenerate with -emit)", path, err)
+	}
+	var base Baseline
+	if err := json.Unmarshal(data, &base); err != nil {
+		return Baseline{}, fmt.Errorf("baseline %s: not valid baseline JSON: %w (regenerate with -emit)", path, err)
+	}
+	if len(base.Benchmarks) == 0 {
+		return Baseline{}, fmt.Errorf("baseline %s: no benchmarks (regenerate with -emit)", path)
+	}
+	return base, nil
+}
 
 // parse consumes `go test -bench` output lines of the form
 //
@@ -128,15 +158,10 @@ func main() {
 	if *baseline == "" {
 		return
 	}
-	data, err := os.ReadFile(*baseline)
+	base, err := loadBaseline(*baseline)
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "benchgate: %v\n", err)
-		os.Exit(2)
-	}
-	var base Baseline
-	if err := json.Unmarshal(data, &base); err != nil {
-		fmt.Fprintf(os.Stderr, "benchgate: %s: %v\n", *baseline, err)
-		os.Exit(2)
+		os.Exit(exitBadBaseline)
 	}
 
 	failed := false

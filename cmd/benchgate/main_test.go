@@ -1,0 +1,88 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestParseBenchOutput(t *testing.T) {
+	lines := []string{
+		"goos: linux",
+		"BenchmarkAnalyze-8   \t     100\t  11093 ns/op\t  2048 B/op\t      12 allocs/op",
+		"BenchmarkNoMem-8     \t    5000\t    321 ns/op",
+		"PASS",
+	}
+	got := parse(lines)
+	if len(got) != 2 {
+		t.Fatalf("parsed %d benchmarks, want 2", len(got))
+	}
+	b := got["BenchmarkAnalyze"]
+	if b.NsPerOp != 11093 || b.BytesPerOp != 2048 || b.AllocsPerOp != 12 {
+		t.Fatalf("BenchmarkAnalyze = %+v", b)
+	}
+	if got["BenchmarkNoMem"].NsPerOp != 321 {
+		t.Fatalf("BenchmarkNoMem = %+v", got["BenchmarkNoMem"])
+	}
+}
+
+func TestWorse(t *testing.T) {
+	for _, tc := range []struct{ base, got, want float64 }{
+		{100, 120, 20},
+		{100, 80, -20},
+		{0, 0, 0},
+		{0, 5, 100},
+	} {
+		if d := worse(tc.base, tc.got); d != tc.want {
+			t.Errorf("worse(%v, %v) = %v, want %v", tc.base, tc.got, d, tc.want)
+		}
+	}
+}
+
+func TestLoadBaseline(t *testing.T) {
+	dir := t.TempDir()
+
+	good := filepath.Join(dir, "good.json")
+	if err := os.WriteFile(good, []byte(`{"benchmarks":{"BenchmarkX":{"ns_per_op":1,"bytes_per_op":2,"allocs_per_op":3}}}`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	base, err := loadBaseline(good)
+	if err != nil {
+		t.Fatalf("good baseline: %v", err)
+	}
+	if b := base.Benchmarks["BenchmarkX"]; b.AllocsPerOp != 3 {
+		t.Fatalf("BenchmarkX = %+v", b)
+	}
+
+	cases := []struct {
+		name    string
+		path    string
+		content string // "" = do not create the file
+		wantMsg string
+	}{
+		{"missing", filepath.Join(dir, "absent.json"), "", "regenerate with -emit"},
+		{"unparsable", filepath.Join(dir, "broken.json"), "{not json", "not valid baseline JSON"},
+		{"empty-object", filepath.Join(dir, "empty.json"), "{}", "no benchmarks"},
+		{"wrong-shape", filepath.Join(dir, "shape.json"), `{"benchmarks":{}}`, "no benchmarks"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			if tc.content != "" {
+				if err := os.WriteFile(tc.path, []byte(tc.content), 0o644); err != nil {
+					t.Fatal(err)
+				}
+			}
+			_, err := loadBaseline(tc.path)
+			if err == nil {
+				t.Fatalf("loadBaseline(%s) succeeded, want error", tc.name)
+			}
+			if !strings.Contains(err.Error(), tc.path) {
+				t.Errorf("error %q does not name the file", err)
+			}
+			if !strings.Contains(err.Error(), tc.wantMsg) {
+				t.Errorf("error %q missing %q", err, tc.wantMsg)
+			}
+		})
+	}
+}

@@ -7,16 +7,24 @@
 //
 //	semanalyze -trace trace/
 //	semanalyze -trace trace/ -checkpoint ckptdir -resume
+//	semanalyze -trace trace/ -check-consistency
 //
 // With -checkpoint, each completed analysis is journaled (keyed by the
 // trace's configuration name and content fingerprint) and -resume replays
 // the cached report — including the original exit code — without re-running
 // the analysis.
 //
+// With -check-consistency, the traced configuration is re-run under all
+// four consistency models with the pfs op-history recorder attached, and
+// each history is verified against its model's executable formal spec
+// (internal/consistency); the cross-model cost table is printed and any
+// spec rejection is reported with its counterexample clause.
+//
 // Exit codes: 0 = clean trace, 1 = the trace could not be loaded or
 // analyzed, 2 = usage error, 3 = the analysis itself succeeded but found
 // conflicts (unsynchronized pairs when -validate is on, any conflicting
-// pairs otherwise).
+// pairs otherwise) — or, under -check-consistency, a model's history was
+// rejected by its formal spec.
 package main
 
 import (
@@ -29,8 +37,10 @@ import (
 	"sort"
 
 	semfs "repro"
+	"repro/internal/apps"
 	"repro/internal/ckpt"
 	"repro/internal/core"
+	"repro/internal/experiments"
 	"repro/internal/faults"
 	"repro/internal/obs"
 	"repro/internal/pfs"
@@ -56,6 +66,7 @@ func run() (code int) {
 		lenient  = flag.Bool("lenient", false, "salvage valid records from truncated or corrupt rank streams instead of failing")
 		ckptDir  = flag.String("checkpoint", "", "journal completed analyses to this directory (crash-safe)")
 		resume   = flag.Bool("resume", false, "replay an analysis already journaled in -checkpoint instead of re-running it")
+		checkSem = flag.Bool("check-consistency", false, "re-run the traced configuration under all four consistency models and verify each op history against its formal spec")
 		tele     obs.CLIFlags
 	)
 	tele.Register(flag.CommandLine)
@@ -102,6 +113,10 @@ func run() (code int) {
 		return exitError
 	}
 
+	if *checkSem {
+		return checkConsistency(os.Stdout, tr)
+	}
+
 	if *ckptDir == "" {
 		return analyze(os.Stdout, tr, *validate, *maxShow, *full, *workers)
 	}
@@ -141,6 +156,45 @@ func run() (code int) {
 		}
 	}
 	return code
+}
+
+// checkConsistency re-runs the trace's configuration under all four
+// consistency models and verifies each recorded op history against the
+// model's executable formal spec. The trace supplies the configuration
+// name and scale; the runs themselves are fresh (a saved trace does not
+// carry the op-level payloads the checker needs).
+func checkConsistency(w io.Writer, tr *semfs.Trace) int {
+	name := tr.Meta.ConfigName()
+	if _, ok := apps.Lookup(name); !ok {
+		fmt.Fprintf(os.Stderr, "semanalyze: -check-consistency: configuration %q is not in the application registry\n", name)
+		return exitError
+	}
+	scale := experiments.TestScale()
+	if tr.Meta.Ranks > 0 {
+		scale.Ranks = tr.Meta.Ranks
+	}
+	if tr.Meta.Steps > 0 {
+		scale.Params.Steps = tr.Meta.Steps
+	}
+	cells, err := experiments.ConsistencyComparison(context.Background(), scale, []string{name})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "semanalyze: -check-consistency:", err)
+		return exitError
+	}
+	fmt.Fprint(w, experiments.ConsistencyTable(cells))
+	rejected := 0
+	for _, c := range cells {
+		if !c.Accepted {
+			rejected++
+			fmt.Fprintf(w, "\nREJECTED: %s under %v violates clause %s\n", c.Config, c.Semantics, c.Clause)
+		}
+	}
+	if rejected > 0 {
+		fmt.Fprintf(w, "\n%d of %d model histories rejected by their formal specs\n", rejected, len(cells))
+		return exitConflicts
+	}
+	fmt.Fprintf(w, "\nall %d model histories satisfy their formal specs\n", len(cells))
+	return exitClean
 }
 
 // analyze runs the full analysis pipeline over tr, writing the report to w.

@@ -11,6 +11,7 @@
 //	semrepro -out results -checkpoint ckptdir            # journal as you go
 //	semrepro -out results -checkpoint ckptdir -resume    # replay after a crash
 //	semrepro -out results -chaos -chaos-seeds 1,2,3
+//	semrepro -out results -only consistency              # formal-spec-checked cross-model table
 //
 // Exit codes: 0 = everything completed, 1 = hard failure (no configuration
 // produced a result, or an artifact could not be written), 2 = usage error,
@@ -50,7 +51,8 @@ func run() (code int) {
 		ppn        = flag.Int("ppn", 8, "processes per node")
 		seed       = flag.Uint64("seed", 1, "simulation seed")
 		semName    = flag.String("semantics", "strong", "consistency model for the sweep: strong|commit|session|eventual")
-		only       = flag.String("only", "", "generate a single artifact: table1|table3|table4|table5|figure1|figure2|figure3|verdicts")
+		only       = flag.String("only", "", "generate a single artifact: table1|table3|table4|table5|figure1|figure2|figure3|verdicts|consistency")
+		consApps   = flag.String("consistency-apps", "", "comma-separated configuration names for -only consistency (default: full registry)")
 		workers    = flag.Int("workers", 0, "how many configurations to run concurrently: 0 = GOMAXPROCS, 1 = serial")
 		timeout    = flag.Duration("task-timeout", 0, "abandon any single configuration after this long (0 = no limit)")
 		ckptDir    = flag.String("checkpoint", "", "journal completed configurations to this directory (crash-safe)")
@@ -151,6 +153,33 @@ func run() (code int) {
 	if *only == "table1" || *only == "table5" {
 		if hardErr {
 			return exitError
+		}
+		return exitOK
+	}
+
+	if *only == "consistency" {
+		// Cross-model comparison with formal-spec verification: each
+		// configuration reruns under all four models with the op-history
+		// recorder attached, and every history must satisfy its model's
+		// executable spec (internal/consistency). Not part of the default
+		// artifact set — the 4x rerun cost is opt-in.
+		cells, err := experiments.ConsistencyComparison(context.Background(), scale, parseList(*consApps))
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "semrepro: consistency:", err)
+			if len(cells) == 0 {
+				return exitError
+			}
+		}
+		write("consistency_models.txt", experiments.ConsistencyTable(cells))
+		if hardErr {
+			return exitError
+		}
+		for _, c := range cells {
+			if !c.Accepted {
+				fmt.Fprintf(os.Stderr, "semrepro: %s under %v rejected by its formal spec (clause %s)\n",
+					c.Config, c.Semantics, c.Clause)
+				return exitDegraded
+			}
 		}
 		return exitOK
 	}

@@ -1,0 +1,14 @@
+package consistency
+
+import "repro/internal/obs"
+
+// Checker telemetry on the process-wide obs registry. Naming follows
+// DESIGN.md §9: consistency.check.*.
+var (
+	checkHistories = obs.Default().Counter("consistency.check.histories")
+	checkAccepted  = obs.Default().Counter("consistency.check.accepted")
+	checkRejected  = obs.Default().Counter("consistency.check.rejected")
+	checkEvents    = obs.Default().Counter("consistency.check.events")
+	checkBytes     = obs.Default().Counter("consistency.check.bytes")
+	checkWall      = obs.Default().Histogram("consistency.check.wall_ns")
+)

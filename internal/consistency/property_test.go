@@ -1,0 +1,138 @@
+package consistency
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/pfs"
+	"repro/internal/pfs/pfstest"
+)
+
+// runSpec replays a schedule against a fresh pfs with the given model,
+// recording the history, and checks it against the same model's formal
+// spec. delay parameterizes the eventual staleness bound on both sides
+// (0 = the shared 50 ms default).
+func runSpec(sem pfs.Semantics, delay uint64, sched pfstest.Schedule) (Result, error) {
+	fs := pfs.New(pfs.Options{Semantics: sem, EventualDelay: delay})
+	log := NewLog()
+	fs.SetHistoryRecorder(log)
+	if _, err := pfstest.Run(fs, sched); err != nil {
+		return Result{}, err
+	}
+	return CheckLog(sem, log, Options{EventualDelayNS: delay}), nil
+}
+
+func trialGenOptions(rng *rand.Rand) pfstest.GenOptions {
+	return pfstest.GenOptions{
+		Ranks:    2 + rng.Intn(2),
+		Writers:  1 + rng.Intn(2),
+		Truncate: rng.Intn(2) == 0,
+		Laminate: rng.Intn(4) == 0,
+	}
+}
+
+func trialDelay(sem pfs.Semantics, rng *rand.Rand) uint64 {
+	if sem != pfs.Eventual {
+		return 0
+	}
+	// Mix the 50 ms default (remote writes never become mandatory within a
+	// schedule) with tight bounds that flip mid-schedule.
+	return []uint64{0, 100, 1000}[rng.Intn(3)]
+}
+
+// TestPropertyModelsSatisfyOwnSpec is the tentpole property: every pfs
+// consistency model, driven by randomized multi-rank schedules (including
+// truncation and lamination), produces histories its own formal spec
+// accepts — 1000 seeded schedules per model. On failure the schedule is
+// shrunk to a minimal still-failing counterexample and printed with its
+// seed (rerun via SEMFS_PROP_SEED).
+func TestPropertyModelsSatisfyOwnSpec(t *testing.T) {
+	for _, sem := range pfs.AllSemantics() {
+		sem := sem
+		t.Run(sem.String(), func(t *testing.T) {
+			base := pfstest.BaseSeed(t, 40_000+int64(sem)*10_000)
+			pfstest.Trials(t, base, 1000, func(t *testing.T, rng *rand.Rand) {
+				opt := trialGenOptions(rng)
+				delay := trialDelay(sem, rng)
+				sched := pfstest.Generate(rng, opt)
+				res, err := runSpec(sem, delay, sched)
+				if err != nil {
+					t.Fatalf("schedule run: %v\n%s", err, pfstest.Format(sched))
+				}
+				if res.OK() {
+					return
+				}
+				min := pfstest.Shrink(sched, func(s pfstest.Schedule) bool {
+					r, err := runSpec(sem, delay, s)
+					return err == nil && !r.OK()
+				})
+				minRes, _ := runSpec(sem, delay, min)
+				t.Fatalf("spec rejected a conforming %v history: %v\nminimal counterexample (%d of %d ops):\n%s minimal violation: %v",
+					sem, res.Violation, len(min), len(sched), pfstest.Format(min), minRes.Violation)
+			})
+		})
+	}
+}
+
+// TestPropertyConcurrentHistoriesSatisfySpec drives each model with truly
+// concurrent rank goroutines (the interleaving is the scheduler's choice)
+// and checks the total order the history hook actually recorded. This is
+// the -race workout for the recording path, and verifies the specs hold
+// for interleavings the serial generator cannot express.
+func TestPropertyConcurrentHistoriesSatisfySpec(t *testing.T) {
+	for _, sem := range pfs.AllSemantics() {
+		sem := sem
+		t.Run(sem.String(), func(t *testing.T) {
+			base := pfstest.BaseSeed(t, 80_000+int64(sem)*10_000)
+			pfstest.Trials(t, base, 100, func(t *testing.T, rng *rand.Rand) {
+				sched := pfstest.Generate(rng, pfstest.GenOptions{
+					Ranks: 3, Writers: 3, MaxOps: 40,
+					Truncate: true, Laminate: rng.Intn(4) == 0,
+				})
+				delay := trialDelay(sem, rng)
+				fs := pfs.New(pfs.Options{Semantics: sem, EventualDelay: delay})
+				log := NewLog()
+				fs.SetHistoryRecorder(log)
+				if err := pfstest.RunConcurrent(fs, sched); err != nil {
+					t.Fatalf("concurrent run: %v\n%s", err, pfstest.Format(sched))
+				}
+				res := CheckLog(sem, log, Options{EventualDelayNS: delay})
+				if !res.OK() {
+					// Concurrent interleavings are not reproducible, so no
+					// shrinking — report the violation and the recorded size.
+					t.Fatalf("spec rejected a concurrent %v history (%d events): %v\nschedule:\n%s",
+						sem, res.Events, res.Violation, pfstest.Format(sched))
+				}
+			})
+		})
+	}
+}
+
+// TestPropertyShrinkerPreservesFailure sanity-checks the shrinker itself:
+// for a known-violating configuration (strong history vs commit spec), the
+// shrunken schedule still fails and is no larger than the original.
+func TestPropertyShrinkerPreservesFailure(t *testing.T) {
+	base := pfstest.BaseSeed(t, 7)
+	pfstest.Trials(t, base, 25, func(t *testing.T, rng *rand.Rand) {
+		sched := pfstest.Generate(rng, pfstest.GenOptions{})
+		fails := func(s pfstest.Schedule) bool {
+			fs := pfs.New(pfs.Options{Semantics: pfs.Strong})
+			log := NewLog()
+			fs.SetHistoryRecorder(log)
+			if _, err := pfstest.Run(fs, s); err != nil {
+				return false
+			}
+			return !CheckLog(pfs.Commit, log, Options{}).OK()
+		}
+		if !fails(sched) {
+			t.Skip("schedule happens to satisfy the cross-model spec")
+		}
+		min := pfstest.Shrink(sched, fails)
+		if !fails(min) {
+			t.Fatalf("shrunken schedule no longer fails:\n%s", pfstest.Format(min))
+		}
+		if len(min) > len(sched) {
+			t.Fatalf("shrinker grew the schedule: %d -> %d ops", len(sched), len(min))
+		}
+	})
+}

@@ -1,0 +1,158 @@
+package experiments
+
+import (
+	"context"
+	"fmt"
+	"sort"
+	"strings"
+	"time"
+
+	"repro/internal/apps"
+	"repro/internal/consistency"
+	"repro/internal/obs"
+	"repro/internal/pfs"
+)
+
+// Cross-model comparison telemetry: one run per (configuration, model)
+// cell. Names: experiments.consistency.*.
+var (
+	consistencyRuns   = obs.Default().Counter("experiments.consistency.runs")
+	consistencyWall   = obs.Default().Histogram("experiments.consistency.run_wall_ns")
+	consistencyFailed = obs.Default().Counter("experiments.consistency.failed")
+)
+
+// ConsistencyCell is one (configuration, model) cell of the cross-model
+// comparison: the model-dependent performance counters of the run, plus
+// the formal-spec verdict over its recorded op history.
+type ConsistencyCell struct {
+	Config    string
+	Semantics pfs.Semantics
+
+	ElapsedNS    uint64 // simulated wall time of the traced phase
+	LockAcquires int64  // strong-semantics lock round trips
+	StaleReads   int64  // reads that saw less than the strong view
+	VisWaitMaxNS int64  // worst distance from the strong view (simulated ns)
+
+	Events   int    // recorded history length (setup + traced phases)
+	Accepted bool   // history satisfies the model's formal spec
+	Clause   string // failed predicate clause when rejected
+}
+
+// ConsistencyComparison reruns application configurations under all four
+// consistency models with the op-history recorder attached, verifies every
+// history against the model's executable formal spec (internal/
+// consistency), and reports the per-model cost counters — the executable
+// analogue of the follow-up paper's cross-model performance comparison
+// (visibility wait and locking cost per model; see PAPERS.md), with each
+// cell certified semantics-conforming by the checker.
+//
+// names selects configurations (apps.Lookup names); nil means the full
+// registry. Cells come back grouped by configuration in registry order.
+func ConsistencyComparison(ctx context.Context, s Scale, names []string) ([]ConsistencyCell, error) {
+	var cfgs []*apps.Config
+	if len(names) == 0 {
+		cfgs = apps.Registry()
+	} else {
+		for _, n := range names {
+			cfg, ok := apps.Lookup(n)
+			if !ok {
+				return nil, fmt.Errorf("experiments: unknown configuration %q", n)
+			}
+			cfgs = append(cfgs, cfg)
+		}
+	}
+	var cells []ConsistencyCell
+	for _, cfg := range cfgs {
+		for _, sem := range pfs.AllSemantics() {
+			if err := ctx.Err(); err != nil {
+				return cells, err
+			}
+			cell, err := consistencyCell(cfg, sem, s)
+			if err != nil {
+				consistencyFailed.Inc()
+				return cells, fmt.Errorf("experiments: %s under %v: %w", cfg.Name(), sem, err)
+			}
+			cells = append(cells, cell)
+		}
+	}
+	return cells, nil
+}
+
+func consistencyCell(cfg *apps.Config, sem pfs.Semantics, s Scale) (ConsistencyCell, error) {
+	span := obs.Default().Tracer().Start(cfg.Name()+"/"+sem.String(), "experiments.consistency")
+	defer span.End()
+	start := time.Now()
+	defer func() { consistencyWall.Observe(time.Since(start).Nanoseconds()) }()
+	consistencyRuns.Inc()
+
+	fs := pfs.New(pfs.Options{Semantics: sem})
+	log := consistency.NewLog()
+	fs.SetHistoryRecorder(log)
+	res, err := apps.Execute(cfg, apps.Options{
+		Ranks:     s.Ranks,
+		PPN:       s.PPN,
+		Seed:      s.Seed,
+		Semantics: sem,
+		FS:        fs,
+		Params:    s.Params,
+	})
+	if err != nil {
+		return ConsistencyCell{}, err
+	}
+	if err := res.Err(); err != nil {
+		return ConsistencyCell{}, err
+	}
+	var elapsed uint64
+	for _, rs := range res.Trace.PerRank {
+		if len(rs) > 0 && rs[len(rs)-1].TEnd > elapsed {
+			elapsed = rs[len(rs)-1].TEnd
+		}
+	}
+	st := fs.Stats()
+	check := consistency.CheckLog(sem, log, consistency.Options{
+		EventualDelayNS: fs.Options().EventualDelay,
+	})
+	cell := ConsistencyCell{
+		Config:       cfg.Name(),
+		Semantics:    sem,
+		ElapsedNS:    elapsed,
+		LockAcquires: st.LockAcquires,
+		StaleReads:   st.StaleReads,
+		VisWaitMaxNS: st.VisibilityWaitMaxNS,
+		Events:       check.Events,
+		Accepted:     check.OK(),
+	}
+	if !check.OK() {
+		cell.Clause = check.Violation.Clause
+	}
+	return cell, nil
+}
+
+// ConsistencyTable renders the cross-model comparison: per configuration,
+// one row per model with its locking cost, staleness exposure and
+// spec verdict.
+func ConsistencyTable(cells []ConsistencyCell) string {
+	ordered := append([]ConsistencyCell(nil), cells...)
+	sort.SliceStable(ordered, func(i, j int) bool {
+		if ordered[i].Config != ordered[j].Config {
+			return ordered[i].Config < ordered[j].Config
+		}
+		return ordered[i].Semantics < ordered[j].Semantics
+	})
+	var b strings.Builder
+	b.WriteString("Cross-model consistency comparison (formal-spec-checked runs)\n\n")
+	fmt.Fprintf(&b, "%-20s  %-9s  %12s  %10s  %11s  %13s  %8s  %s\n",
+		"configuration", "semantics", "elapsed(ms)", "lock acqs",
+		"stale reads", "vis-wait(ms)", "events", "spec")
+	b.WriteString(strings.Repeat("-", 100) + "\n")
+	for _, c := range ordered {
+		verdict := "ok"
+		if !c.Accepted {
+			verdict = "REJECTED " + c.Clause
+		}
+		fmt.Fprintf(&b, "%-20s  %-9s  %12.2f  %10d  %11d  %13.2f  %8d  %s\n",
+			c.Config, c.Semantics, float64(c.ElapsedNS)/1e6, c.LockAcquires,
+			c.StaleReads, float64(c.VisWaitMaxNS)/1e6, c.Events, verdict)
+	}
+	return b.String()
+}

@@ -28,6 +28,7 @@ func (c *Client) FS() *FileSystem { return c.fs }
 // Handle is an open file description.
 type Handle struct {
 	c        *Client
+	id       uint64 // open-description identity in the operation history
 	path     string
 	flags    int
 	openSeq  uint64 // publish sequence snapshot at open (session visibility)
@@ -61,10 +62,14 @@ func (c *Client) Open(path string, flags int, now uint64) (*Handle, uint64, erro
 	cost := fs.opts.Cost.MetaRPC + fs.opts.Cost.OpenCost
 	f, err := fs.ensure(path, flags&OCreat != 0)
 	if err != nil {
+		fs.recordHistoryLocked(HistoryEvent{Kind: EvOpen, Rank: c.rank, Path: path,
+			Flags: flags, Now: now, Err: errString(err)})
 		return nil, cost, fmt.Errorf("open %s: %w", path, err)
 	}
 	if flags&OTrunc != 0 {
 		if f.laminated {
+			fs.recordHistoryLocked(HistoryEvent{Kind: EvOpen, Rank: c.rank, Path: path,
+				Flags: flags, Now: now, Err: errString(ErrLaminated)})
 			return nil, cost, fmt.Errorf("open %s: %w", path, ErrLaminated)
 		}
 		f.truncateLocked(0)
@@ -76,14 +81,18 @@ func (c *Client) Open(path string, flags int, now uint64) (*Handle, uint64, erro
 	}
 	f.openers[int32(c.rank)] = true
 	acc := flags & accessMask
+	fs.nextHandle++
 	h := &Handle{
 		c:        c,
+		id:       fs.nextHandle,
 		path:     path,
 		flags:    flags,
 		openSeq:  fs.pubSeq,
 		readable: acc == ORdonly || acc == ORdwr,
 		writable: acc == OWronly || acc == ORdwr,
 	}
+	fs.recordHistoryLocked(HistoryEvent{Kind: EvOpen, Rank: c.rank, Path: path,
+		Handle: h.id, Flags: flags, Now: now})
 	return h, cost, nil
 }
 
@@ -134,15 +143,21 @@ func (h *Handle) Write(off int64, data []byte, now uint64) (uint64, error) {
 	defer fs.mu.Unlock()
 	f, err := fs.ensure(h.path, false)
 	if err != nil {
+		fs.recordHistoryLocked(HistoryEvent{Kind: EvWrite, Rank: h.c.rank, Path: h.path,
+			Handle: h.id, Off: off, Len: int64(len(data)), Now: now, Err: errString(err)})
 		return 0, err
 	}
 	if f.laminated {
+		fs.recordHistoryLocked(HistoryEvent{Kind: EvWrite, Rank: h.c.rank, Path: h.path,
+			Handle: h.id, Off: off, Len: int64(len(data)), Now: now, Err: errString(ErrLaminated)})
 		return 0, ErrLaminated
 	}
 	act := fs.interceptLocked(OpInfo{Kind: OpWrite, Rank: h.c.rank, Path: h.path,
 		Off: off, Len: int64(len(data)), Now: now})
 	if act.CrashBefore {
 		h.c.crashLocked()
+		fs.recordHistoryLocked(HistoryEvent{Kind: EvWrite, Rank: h.c.rank, Path: h.path,
+			Handle: h.id, Off: off, Len: int64(len(data)), Now: now, Err: errString(ErrCrashed)})
 		return 0, ErrCrashed
 	}
 	fs.stats.Writes++
@@ -155,6 +170,8 @@ func (h *Handle) Write(off int64, data []byte, now uint64) (uint64, error) {
 			Path: h.path, Off: off, Len: int64(len(data)), Now: now})
 		cost += extra
 		if act.Transient {
+			fs.recordHistoryLocked(HistoryEvent{Kind: EvWrite, Rank: h.c.rank, Path: h.path,
+				Handle: h.id, Off: off, Len: int64(len(data)), Now: now, Err: errString(ErrTransient)})
 			return cost, fmt.Errorf("write %s: %w", h.path, ErrTransient)
 		}
 	}
@@ -177,6 +194,10 @@ func (h *Handle) Write(off int64, data []byte, now uint64) (uint64, error) {
 	}
 	observeOp(OpWrite, cost)
 	bytesWrittenCounter.Add(int64(len(data)))
+	// A crash-after write is recorded as successful: the data landed on the
+	// servers even though the process never observed the completion.
+	fs.recordHistoryLocked(HistoryEvent{Kind: EvWrite, Rank: h.c.rank, Path: h.path,
+		Handle: h.id, Off: off, Len: int64(len(e.data)), Data: e.data, Now: now})
 	if act.CrashAfter {
 		h.c.crashLocked()
 		return cost, ErrCrashed
@@ -216,12 +237,16 @@ func (h *Handle) Read(off, n int64, now uint64) ([]byte, uint64, error) {
 	defer fs.mu.Unlock()
 	f, err := fs.ensure(h.path, false)
 	if err != nil {
+		fs.recordHistoryLocked(HistoryEvent{Kind: EvRead, Rank: h.c.rank, Path: h.path,
+			Handle: h.id, Off: off, Len: n, Now: now, Err: errString(err)})
 		return nil, 0, err
 	}
 	act := fs.interceptLocked(OpInfo{Kind: OpRead, Rank: h.c.rank, Path: h.path,
 		Off: off, Len: n, Now: now})
 	if act.CrashBefore {
 		h.c.crashLocked()
+		fs.recordHistoryLocked(HistoryEvent{Kind: EvRead, Rank: h.c.rank, Path: h.path,
+			Handle: h.id, Off: off, Len: n, Now: now, Err: errString(ErrCrashed)})
 		return nil, 0, ErrCrashed
 	}
 	fs.stats.Reads++
@@ -233,6 +258,8 @@ func (h *Handle) Read(off, n int64, now uint64) ([]byte, uint64, error) {
 			Path: h.path, Off: off, Len: n, Now: now})
 		cost += extra
 		if act.Transient {
+			fs.recordHistoryLocked(HistoryEvent{Kind: EvRead, Rank: h.c.rank, Path: h.path,
+				Handle: h.id, Off: off, Len: n, Now: now, Err: errString(ErrTransient)})
 			return nil, cost, fmt.Errorf("read %s: %w", h.path, ErrTransient)
 		}
 	}
@@ -262,6 +289,9 @@ func (h *Handle) Read(off, n int64, now uint64) ([]byte, uint64, error) {
 			}
 			if wait > 0 {
 				visWait[sem].SetMax(wait)
+				if wait > fs.stats.VisibilityWaitMaxNS {
+					fs.stats.VisibilityWaitMaxNS = wait
+				}
 			}
 		}
 	}
@@ -280,6 +310,8 @@ func (h *Handle) Read(off, n int64, now uint64) ([]byte, uint64, error) {
 	observeOp(OpRead, cost)
 	avail := visEnd - off
 	if avail <= 0 {
+		fs.recordHistoryLocked(HistoryEvent{Kind: EvRead, Rank: h.c.rank, Path: h.path,
+			Handle: h.id, Off: off, Len: n, Now: now})
 		return nil, cost, nil
 	}
 	if avail > n {
@@ -287,6 +319,10 @@ func (h *Handle) Read(off, n int64, now uint64) ([]byte, uint64, error) {
 	}
 	fs.stats.BytesRead += avail
 	bytesReadCounter.Add(avail)
+	if fs.history != nil {
+		fs.recordHistoryLocked(HistoryEvent{Kind: EvRead, Rank: h.c.rank, Path: h.path,
+			Handle: h.id, Off: off, Len: n, Data: append([]byte(nil), buf[:avail]...), Now: now})
+	}
 	return buf[:avail], cost, nil
 }
 
@@ -337,12 +373,16 @@ func (h *Handle) Commit(now uint64) (uint64, error) {
 	act := fs.interceptLocked(OpInfo{Kind: OpCommit, Rank: h.c.rank, Path: h.path, Now: now})
 	if act.CrashBefore {
 		h.c.crashLocked()
+		fs.recordHistoryLocked(HistoryEvent{Kind: EvCommit, Rank: h.c.rank, Path: h.path,
+			Handle: h.id, Now: now, Err: errString(ErrCrashed)})
 		return 0, ErrCrashed
 	}
 	fs.stats.Commits++
 	cost := fs.opts.Cost.SyncCost
 	observeOp(OpCommit, cost)
 	if fs.semFor(h.path) != Commit {
+		fs.recordHistoryLocked(HistoryEvent{Kind: EvCommit, Rank: h.c.rank, Path: h.path,
+			Handle: h.id, Now: now})
 		if act.CrashAfter {
 			h.c.crashLocked()
 			return cost, ErrCrashed
@@ -351,15 +391,23 @@ func (h *Handle) Commit(now uint64) (uint64, error) {
 	}
 	f, err := fs.ensure(h.path, false)
 	if err != nil {
+		fs.recordHistoryLocked(HistoryEvent{Kind: EvCommit, Rank: h.c.rank, Path: h.path,
+			Handle: h.id, Now: now, Err: errString(err)})
 		return cost, err
 	}
 	if act.DropCommit {
 		// Lost fsync: the sync "succeeds" but nothing durably publishes —
 		// the silent failure mode commit-semantics protocols must tolerate.
+		// The history marks it as dropped so the checker treats it as the
+		// no-op it server-side was.
+		fs.recordHistoryLocked(HistoryEvent{Kind: EvCommit, Rank: h.c.rank, Path: h.path,
+			Handle: h.id, Now: now, Err: "fault: dropped commit"})
 		return cost, nil
 	}
 	fs.publishBatchLocked(f, h.c.pending[h.path], now, act)
 	delete(h.c.pending, h.path)
+	fs.recordHistoryLocked(HistoryEvent{Kind: EvCommit, Rank: h.c.rank, Path: h.path,
+		Handle: h.id, Now: now})
 	if act.CrashAfter {
 		h.c.crashLocked()
 		return cost, ErrCrashed
@@ -389,6 +437,8 @@ func (h *Handle) Close(now uint64) (uint64, error) {
 			f.sharers--
 		}
 		h.closed = true
+		fs.recordHistoryLocked(HistoryEvent{Kind: EvClose, Rank: h.c.rank, Path: h.path,
+			Handle: h.id, Now: now, Err: errString(ErrCrashed)})
 		return 0, ErrCrashed
 	}
 	h.closed = true
@@ -396,6 +446,8 @@ func (h *Handle) Close(now uint64) (uint64, error) {
 	observeOp(OpClose, cost)
 	f, err := fs.ensure(h.path, false)
 	if err != nil {
+		fs.recordHistoryLocked(HistoryEvent{Kind: EvClose, Rank: h.c.rank, Path: h.path,
+			Handle: h.id, Now: now, Err: errString(err)})
 		return cost, err
 	}
 	if f.sharers > 0 {
@@ -406,6 +458,8 @@ func (h *Handle) Close(now uint64) (uint64, error) {
 		fs.publishBatchLocked(f, h.c.pending[h.path], now, act)
 		delete(h.c.pending, h.path)
 	}
+	fs.recordHistoryLocked(HistoryEvent{Kind: EvClose, Rank: h.c.rank, Path: h.path,
+		Handle: h.id, Now: now})
 	if act.CrashAfter {
 		h.c.crashLocked()
 		return cost, ErrCrashed
@@ -427,12 +481,16 @@ func (h *Handle) Laminate(now uint64) (uint64, error) {
 	f, err := fs.ensure(h.path, false)
 	cost := fs.opts.Cost.SyncCost + fs.opts.Cost.MetaRPC
 	if err != nil {
+		fs.recordHistoryLocked(HistoryEvent{Kind: EvLaminate, Rank: h.c.rank, Path: h.path,
+			Handle: h.id, Now: now, Err: errString(err)})
 		return cost, err
 	}
 	fs.stats.Commits++
 	fs.publishLocked(f, h.c.pending[h.path], now)
 	delete(h.c.pending, h.path)
 	f.laminated = true
+	fs.recordHistoryLocked(HistoryEvent{Kind: EvLaminate, Rank: h.c.rank, Path: h.path,
+		Handle: h.id, Now: now})
 	return cost, nil
 }
 
@@ -448,9 +506,13 @@ func (h *Handle) Truncate(length int64) (uint64, error) {
 	fs.stats.MetaOps++
 	f, err := fs.ensure(h.path, false)
 	if err != nil {
+		fs.recordHistoryLocked(HistoryEvent{Kind: EvTruncate, Rank: h.c.rank, Path: h.path,
+			Handle: h.id, Off: length, Err: errString(err)})
 		return fs.opts.Cost.MetaRPC, err
 	}
 	if f.laminated {
+		fs.recordHistoryLocked(HistoryEvent{Kind: EvTruncate, Rank: h.c.rank, Path: h.path,
+			Handle: h.id, Off: length, Err: errString(ErrLaminated)})
 		return fs.opts.Cost.MetaRPC, ErrLaminated
 	}
 	f.truncateLocked(length)
@@ -470,6 +532,8 @@ func (h *Handle) Truncate(length int64) (uint64, error) {
 	} else {
 		h.c.pending[h.path] = kept
 	}
+	fs.recordHistoryLocked(HistoryEvent{Kind: EvTruncate, Rank: h.c.rank, Path: h.path,
+		Handle: h.id, Off: length})
 	return fs.opts.Cost.MetaRPC, nil
 }
 

@@ -122,17 +122,26 @@ type Stats struct {
 	StaleReads       int64 // reads that observed fewer bytes than the strong view held
 	Retries          int64 // transient-error retry attempts by clients
 	TransientErrors  int64 // transient failures that exhausted the retry policy
+	// VisibilityWaitMaxNS is the high-water mark of how far a reader was
+	// from the strong view, in simulated ns: under Eventual the remaining
+	// propagation delay of a hidden extent, under Commit/Session the age of
+	// published-but-hidden data at read time (see the pfs.visibility.wait_ns
+	// gauges, which report the same quantity process-wide per model).
+	VisibilityWaitMaxNS int64
 }
 
 // FileSystem is the shared, server-side half of the PFS. Clients (one per
 // rank) are created with NewClient and hold the pending-write state.
 type FileSystem struct {
-	mu       sync.Mutex
-	opts     Options
-	files    map[string]*file
-	pubSeq   uint64
-	stats    Stats
-	injector FaultInjector // optional fault-injection hook (see hooks.go)
+	mu         sync.Mutex
+	opts       Options
+	files      map[string]*file
+	pubSeq     uint64
+	stats      Stats
+	injector   FaultInjector   // optional fault-injection hook (see hooks.go)
+	history    HistoryRecorder // optional op-history recorder (see history.go)
+	histSeq    uint64          // total-order logical timestamp of recorded events
+	nextHandle uint64          // open file description identity for the history
 }
 
 // New creates a file system with the given options.

@@ -54,6 +54,10 @@ var (
 	retryCounter     = obs.Default().Counter("pfs.retry.attempts")
 	transientCounter = obs.Default().Counter("pfs.retry.exhausted")
 
+	// historyEvents counts operations delivered to a registered
+	// HistoryRecorder (the consistency checker's input stream).
+	historyEvents = obs.Default().Counter("pfs.history.events")
+
 	// Fault-action fire counts, one per FaultAction perturbation, counted
 	// at the interception point itself so every injector implementation is
 	// covered (internal/faults adds per-Kind tallies on top).

@@ -1,146 +1,83 @@
-package pfs
+package pfs_test
+
+// The visibility property suite runs randomized schedules (generated and
+// replayed by internal/pfs/pfstest) identically against several
+// consistency models and checks cross-model relationships. It lives in the
+// external test package because pfstest imports pfs.
 
 import (
 	"bytes"
 	"math/rand"
 	"testing"
+
+	"repro/internal/pfs"
+	"repro/internal/pfs/pfstest"
 )
 
-// schedule is a random single-file op sequence executed identically against
-// several consistency models.
-type schedOp struct {
-	kind string // "write", "fsync", "close-open", "read"
-	off  int64
-	data []byte
-}
-
-func randomSchedule(rng *rand.Rand) []schedOp {
-	n := 5 + rng.Intn(25)
-	ops := make([]schedOp, 0, n)
-	for i := 0; i < n; i++ {
-		switch rng.Intn(6) {
-		case 0:
-			ops = append(ops, schedOp{kind: "fsync"})
-		case 1:
-			ops = append(ops, schedOp{kind: "close-open"})
-		case 2, 3:
-			off := int64(rng.Intn(200))
-			data := bytes.Repeat([]byte{byte(rng.Intn(256))}, rng.Intn(50)+1)
-			ops = append(ops, schedOp{kind: "write", off: off, data: data})
-		default:
-			ops = append(ops, schedOp{kind: "read", off: int64(rng.Intn(200))})
-		}
-	}
-	return ops
-}
-
-// runSchedule executes the ops: writer is rank 0 (writes/fsyncs/reopens),
-// reader is rank 1 (reads through a handle reopened at each close-open).
-// It returns the reader's read results in order.
-func runSchedule(sem Semantics, ops []schedOp) [][]byte {
-	fs := New(Options{Semantics: sem})
-	w := fs.NewClient(0, 0)
-	r := fs.NewClient(1, 0)
-	now := uint64(10)
-	hw, _, err := w.Open("/f", OCreat|OWronly, now)
+func runSchedule(t *testing.T, sem pfs.Semantics, sched pfstest.Schedule) []pfstest.ReadResult {
+	t.Helper()
+	reads, err := pfstest.Run(pfs.New(pfs.Options{Semantics: sem}), sched)
 	if err != nil {
-		panic(err)
-	}
-	hr, _, err := r.Open("/f", ORdonly, now)
-	if err != nil {
-		panic(err)
-	}
-	var reads [][]byte
-	for _, op := range ops {
-		now += 10
-		switch op.kind {
-		case "write":
-			if _, err := hw.Write(op.off, op.data, now); err != nil {
-				panic(err)
-			}
-		case "fsync":
-			if _, err := hw.Commit(now); err != nil {
-				panic(err)
-			}
-		case "close-open":
-			// Writer closes and reopens; reader also reopens (fresh
-			// session) — the full close-to-open discipline.
-			if _, err := hw.Close(now); err != nil {
-				panic(err)
-			}
-			if hw, _, err = w.Open("/f", OWronly, now+1); err != nil {
-				panic(err)
-			}
-			if _, err := hr.Close(now); err != nil {
-				panic(err)
-			}
-			if hr, _, err = r.Open("/f", ORdonly, now+2); err != nil {
-				panic(err)
-			}
-		case "read":
-			got, _, err := hr.Read(op.off, 64, now)
-			if err != nil {
-				panic(err)
-			}
-			reads = append(reads, got)
-		}
+		t.Fatalf("%v schedule run: %v\n%s", sem, err, pfstest.Format(sched))
 	}
 	return reads
 }
 
 // TestPropertyVisibilityHierarchy: for the same schedule, every read under
-// a weaker model returns a prefix-compatible subset of what strong
-// semantics returns — strong sees at least as many bytes as commit, and
-// commit at least as many as session. (Values may differ only where the
-// weaker model legitimately returns older data; sizes are monotonic.)
+// a weaker model returns at most as many bytes as under a stronger one —
+// strong sees at least as much data as commit, and commit at least as much
+// as session. (Values may differ only where the weaker model legitimately
+// returns older data; sizes are monotonic.)
 func TestPropertyVisibilityHierarchy(t *testing.T) {
-	rng := rand.New(rand.NewSource(5))
-	for trial := 0; trial < 200; trial++ {
-		ops := randomSchedule(rng)
-		strong := runSchedule(Strong, ops)
-		commit := runSchedule(Commit, ops)
-		session := runSchedule(Session, ops)
+	base := pfstest.BaseSeed(t, 5)
+	pfstest.Trials(t, base, 200, func(t *testing.T, rng *rand.Rand) {
+		sched := pfstest.Generate(rng, pfstest.GenOptions{})
+		strong := runSchedule(t, pfs.Strong, sched)
+		commit := runSchedule(t, pfs.Commit, sched)
+		session := runSchedule(t, pfs.Session, sched)
 		if len(strong) != len(commit) || len(commit) != len(session) {
-			t.Fatalf("trial %d: read counts differ", trial)
+			t.Fatalf("read counts differ: strong %d, commit %d, session %d",
+				len(strong), len(commit), len(session))
 		}
 		for i := range strong {
-			if len(commit[i]) > len(strong[i]) {
-				t.Fatalf("trial %d read %d: commit returned more bytes (%d) than strong (%d)",
-					trial, i, len(commit[i]), len(strong[i]))
+			if len(commit[i].Data) > len(strong[i].Data) {
+				t.Fatalf("read %d: commit returned more bytes (%d) than strong (%d)\n%s",
+					i, len(commit[i].Data), len(strong[i].Data), pfstest.Format(sched))
 			}
-			if len(session[i]) > len(commit[i]) {
-				t.Fatalf("trial %d read %d: session returned more bytes (%d) than commit (%d)",
-					trial, i, len(session[i]), len(commit[i]))
+			if len(session[i].Data) > len(commit[i].Data) {
+				t.Fatalf("read %d: session returned more bytes (%d) than commit (%d)\n%s",
+					i, len(session[i].Data), len(commit[i].Data), pfstest.Format(sched))
 			}
 		}
-	}
+	})
 }
 
-// TestPropertyFullDisciplineEqualizesModels: when every write batch is
-// followed by fsync + close and the reader reopens before reading (the
-// strictest portable discipline), all three models return identical data.
+// TestPropertyFullDisciplineEqualizesModels: when every write is followed
+// by fsync + close and the reader reopens before reading (the strictest
+// portable discipline), all three models return identical data.
 func TestPropertyFullDisciplineEqualizesModels(t *testing.T) {
-	rng := rand.New(rand.NewSource(9))
-	for trial := 0; trial < 100; trial++ {
-		var ops []schedOp
+	base := pfstest.BaseSeed(t, 9)
+	pfstest.Trials(t, base, 100, func(t *testing.T, rng *rand.Rand) {
+		var sched pfstest.Schedule
 		for i := 0; i < 5+rng.Intn(8); i++ {
 			off := int64(rng.Intn(100))
 			data := bytes.Repeat([]byte{byte(rng.Intn(256))}, rng.Intn(30)+1)
-			ops = append(ops,
-				schedOp{kind: "write", off: off, data: data},
-				schedOp{kind: "fsync"},
-				schedOp{kind: "close-open"},
-				schedOp{kind: "read", off: off},
+			sched = append(sched,
+				pfstest.Op{Kind: pfstest.OpWrite, Rank: 0, Off: off, Data: data},
+				pfstest.Op{Kind: pfstest.OpCommit, Rank: 0},
+				pfstest.Op{Kind: pfstest.OpReopen, Rank: 0},
+				pfstest.Op{Kind: pfstest.OpReopen, Rank: 1},
+				pfstest.Op{Kind: pfstest.OpRead, Rank: 1, Off: off, Len: 64},
 			)
 		}
-		strong := runSchedule(Strong, ops)
-		commit := runSchedule(Commit, ops)
-		session := runSchedule(Session, ops)
+		strong := runSchedule(t, pfs.Strong, sched)
+		commit := runSchedule(t, pfs.Commit, sched)
+		session := runSchedule(t, pfs.Session, sched)
 		for i := range strong {
-			if !bytes.Equal(strong[i], commit[i]) || !bytes.Equal(strong[i], session[i]) {
-				t.Fatalf("trial %d read %d: models disagree under full discipline:\n strong %v\n commit %v\n session %v",
-					trial, i, strong[i], commit[i], session[i])
+			if !bytes.Equal(strong[i].Data, commit[i].Data) || !bytes.Equal(strong[i].Data, session[i].Data) {
+				t.Fatalf("read %d: models disagree under full discipline:\n strong %v\n commit %v\n session %v\n%s",
+					i, strong[i].Data, commit[i].Data, session[i].Data, pfstest.Format(sched))
 			}
 		}
-	}
+	})
 }

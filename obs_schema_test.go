@@ -13,6 +13,7 @@ import (
 	// makes the snapshot's key set the complete, deterministic instrument
 	// namespace.
 	_ "repro/internal/ckpt"
+	_ "repro/internal/consistency"
 	_ "repro/internal/core"
 	_ "repro/internal/experiments"
 	_ "repro/internal/faults"
