@@ -104,6 +104,36 @@ func parse(lines []string) map[string]Bench {
 	return out
 }
 
+// mergeBaseline folds results into the baseline file at path: existing
+// entries for other benchmarks are kept, entries this run re-measured are
+// overwritten, and a missing file starts empty. This is how a PR refreshes
+// its own benchmarks in a shared checked-in baseline without clobbering the
+// rest. Returns the merged benchmark count.
+func mergeBaseline(path string, results map[string]Bench) (int, error) {
+	merged := Baseline{Benchmarks: map[string]Bench{}}
+	if data, err := os.ReadFile(path); err == nil {
+		if err := json.Unmarshal(data, &merged); err != nil {
+			return 0, fmt.Errorf("baseline %s: not valid baseline JSON: %w (refusing to overwrite)", path, err)
+		}
+		if merged.Benchmarks == nil {
+			merged.Benchmarks = map[string]Bench{}
+		}
+	} else if !os.IsNotExist(err) {
+		return 0, fmt.Errorf("baseline %s: %w", path, err)
+	}
+	for name, b := range results {
+		merged.Benchmarks[name] = b
+	}
+	data, err := json.MarshalIndent(merged, "", "  ")
+	if err != nil {
+		return 0, err
+	}
+	if err := os.WriteFile(path, append(data, '\n'), 0o644); err != nil {
+		return 0, err
+	}
+	return len(merged.Benchmarks), nil
+}
+
 // worse reports the regression of got over base as a percentage (negative
 // when got improved). A zero baseline with a nonzero result is treated as
 // fully regressed.
@@ -119,6 +149,7 @@ func worse(base, got float64) float64 {
 
 func main() {
 	emit := flag.String("emit", "", "write the parsed results as a JSON baseline to this path")
+	writeBaseline := flag.String("write-baseline", "", "merge the parsed results into the JSON baseline at this path (keeps other entries; creates the file if missing)")
 	baseline := flag.String("baseline", "", "compare against this JSON baseline")
 	threshold := flag.Float64("threshold", 20, "max allowed regression %% for allocs/op and B/op")
 	nsThreshold := flag.Float64("ns-threshold", 0, "max allowed regression %% for ns/op (0 disables wall-clock gating)")
@@ -153,6 +184,15 @@ func main() {
 			os.Exit(2)
 		}
 		fmt.Fprintf(os.Stderr, "benchgate: wrote %d benchmarks to %s\n", len(results), *emit)
+	}
+	if *writeBaseline != "" {
+		n, err := mergeBaseline(*writeBaseline, results)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "benchgate: %v\n", err)
+			os.Exit(2)
+		}
+		fmt.Fprintf(os.Stderr, "benchgate: merged %d benchmarks into %s (%d total)\n",
+			len(results), *writeBaseline, n)
 	}
 
 	if *baseline == "" {

@@ -40,6 +40,48 @@ func TestWorse(t *testing.T) {
 	}
 }
 
+func TestMergeBaseline(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "BENCH.json")
+
+	// Missing file: starts empty.
+	n, err := mergeBaseline(path, map[string]Bench{"BenchmarkA": {NsPerOp: 10, AllocsPerOp: 1}})
+	if err != nil || n != 1 {
+		t.Fatalf("merge into missing file: n=%d err=%v", n, err)
+	}
+
+	// Re-measured entries overwrite, unrelated entries survive.
+	n, err = mergeBaseline(path, map[string]Bench{
+		"BenchmarkA": {NsPerOp: 20, AllocsPerOp: 2},
+		"BenchmarkB": {NsPerOp: 5},
+	})
+	if err != nil || n != 2 {
+		t.Fatalf("merge update: n=%d err=%v", n, err)
+	}
+	base, err := loadBaseline(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a := base.Benchmarks["BenchmarkA"]; a.NsPerOp != 20 || a.AllocsPerOp != 2 {
+		t.Fatalf("BenchmarkA not overwritten: %+v", a)
+	}
+	if b := base.Benchmarks["BenchmarkB"]; b.NsPerOp != 5 {
+		t.Fatalf("BenchmarkB missing: %+v", b)
+	}
+
+	// A corrupt existing baseline is refused, not clobbered.
+	bad := filepath.Join(dir, "bad.json")
+	if err := os.WriteFile(bad, []byte("{not json"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := mergeBaseline(bad, map[string]Bench{"BenchmarkA": {}}); err == nil {
+		t.Fatal("mergeBaseline accepted a corrupt baseline")
+	}
+	if data, _ := os.ReadFile(bad); string(data) != "{not json" {
+		t.Fatalf("corrupt baseline was rewritten: %q", data)
+	}
+}
+
 func TestLoadBaseline(t *testing.T) {
 	dir := t.TempDir()
 

@@ -34,6 +34,7 @@ func run() (code int) {
 		ops     = flag.Int("ops", 32, "writes per rank")
 		ckptDir = flag.String("checkpoint", "", "journal completed cells to this directory (crash-safe)")
 		resume  = flag.Bool("resume", false, "replay cells already journaled in -checkpoint instead of re-running them")
+		useWAL  = flag.Bool("wal", false, "also run every cell with per-rank write-ahead-log acknowledgement (internal/wal)")
 		tele    obs.CLIFlags
 	)
 	tele.Register(flag.CommandLine)
@@ -75,36 +76,49 @@ func run() (code int) {
 		defer store.Close()
 	}
 
+	walModes := []bool{false}
+	if *useWAL {
+		walModes = append(walModes, true)
+	}
 	var results []experiments.BenchResult
 	for _, workload := range experiments.PFSBenchWorkloads() {
 		for _, sem := range pfs.AllSemantics() {
-			key := workload + "/" + sem.String()
-			if store != nil && *resume {
-				if blob, ok := store.Lookup(key); ok {
-					var r experiments.BenchResult
-					if err := json.Unmarshal(blob, &r); err == nil {
-						results = append(results, r)
-						continue
+			for _, withWAL := range walModes {
+				key := workload + "/" + sem.String()
+				if withWAL {
+					key += "+wal"
+				}
+				if store != nil && *resume {
+					if blob, ok := store.Lookup(key); ok {
+						var r experiments.BenchResult
+						if err := json.Unmarshal(blob, &r); err == nil {
+							results = append(results, r)
+							continue
+						}
+						// Undecodable cache entry: fall through and re-run.
 					}
-					// Undecodable cache entry: fall through and re-run.
 				}
-			}
-			r, err := experiments.PFSBench(workload, sem, *ranks, *ppn, *block, *ops)
-			if err != nil {
-				fmt.Fprintln(os.Stderr, "pfsbench:", err)
-				return 1
-			}
-			if store != nil {
-				blob, err := json.Marshal(r)
-				if err == nil {
-					err = store.Append(key, blob)
+				bench := experiments.PFSBench
+				if withWAL {
+					bench = experiments.PFSBenchWAL
 				}
+				r, err := bench(workload, sem, *ranks, *ppn, *block, *ops)
 				if err != nil {
-					fmt.Fprintln(os.Stderr, "pfsbench: checkpoint:", err)
+					fmt.Fprintln(os.Stderr, "pfsbench:", err)
 					return 1
 				}
+				if store != nil {
+					blob, err := json.Marshal(r)
+					if err == nil {
+						err = store.Append(key, blob)
+					}
+					if err != nil {
+						fmt.Fprintln(os.Stderr, "pfsbench: checkpoint:", err)
+						return 1
+					}
+				}
+				results = append(results, r)
 			}
-			results = append(results, r)
 		}
 	}
 	fmt.Print(experiments.PFSBenchTable(results))

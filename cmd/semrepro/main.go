@@ -11,7 +11,10 @@
 //	semrepro -out results -checkpoint ckptdir            # journal as you go
 //	semrepro -out results -checkpoint ckptdir -resume    # replay after a crash
 //	semrepro -out results -chaos -chaos-seeds 1,2,3
+//	semrepro -out results -chaos -chaos-wal              # chaos with per-rank write-ahead logs
 //	semrepro -out results -only consistency              # formal-spec-checked cross-model table
+//	semrepro -out results -wal-burst -wal-dir wal        # WAL checkpoint burst (SIGKILL-safe)
+//	semrepro -out results -wal-recover -wal-dir wal      # salvage, verify zero acked-write loss
 //
 // Exit codes: 0 = everything completed, 1 = hard failure (no configuration
 // produced a result, or an artifact could not be written), 2 = usage error,
@@ -33,6 +36,7 @@ import (
 	"repro/internal/obs"
 	"repro/internal/pfs"
 	"repro/internal/report"
+	"repro/internal/wal"
 )
 
 const (
@@ -51,7 +55,7 @@ func run() (code int) {
 		ppn        = flag.Int("ppn", 8, "processes per node")
 		seed       = flag.Uint64("seed", 1, "simulation seed")
 		semName    = flag.String("semantics", "strong", "consistency model for the sweep: strong|commit|session|eventual")
-		only       = flag.String("only", "", "generate a single artifact: table1|table3|table4|table5|figure1|figure2|figure3|verdicts|consistency")
+		only       = flag.String("only", "", "generate a single artifact: table1|table3|table4|table5|figure1|figure2|figure3|verdicts|consistency|walcompare")
 		consApps   = flag.String("consistency-apps", "", "comma-separated configuration names for -only consistency (default: full registry)")
 		workers    = flag.Int("workers", 0, "how many configurations to run concurrently: 0 = GOMAXPROCS, 1 = serial")
 		timeout    = flag.Duration("task-timeout", 0, "abandon any single configuration after this long (0 = no limit)")
@@ -61,6 +65,11 @@ func run() (code int) {
 		chaosSeeds = flag.String("chaos-seeds", "1", "comma-separated schedule seeds for -chaos")
 		chaosApps  = flag.String("chaos-apps", "", "comma-separated configuration names for -chaos (default: full registry)")
 		chaosSem   = flag.String("chaos-semantics", "", "comma-separated consistency models for -chaos (default: all four)")
+		chaosWAL   = flag.Bool("chaos-wal", false, "route -chaos runs through per-rank write-ahead logs (exercises drain/retry/degrade under faults)")
+		walBurst   = flag.Bool("wal-burst", false, "run the deterministic WAL checkpoint burst into -wal-dir (uses -ranks, -seed, -semantics); safe to SIGKILL")
+		walRecover = flag.Bool("wal-recover", false, "recover a (possibly crash-interrupted) WAL burst from -wal-dir and verify zero acked-write loss")
+		walDir     = flag.String("wal-dir", "", "write-ahead log directory for -wal-burst / -wal-recover")
+		walApps    = flag.String("wal-apps", "", "comma-separated configuration names for -only walcompare (default: the FLASH/HACC burst set)")
 		tele       obs.CLIFlags
 	)
 	tele.Register(flag.CommandLine)
@@ -109,6 +118,58 @@ func run() (code int) {
 		fmt.Println("wrote", path)
 	}
 
+	if *walBurst || *walRecover {
+		// WAL burst / recovery legs: a deterministic checkpoint burst whose
+		// log directory can be recovered after a crash (or SIGKILL via
+		// SEMFS_KILL at a wal.* point) with zero acked-write loss. Both
+		// sides must agree on -ranks, -seed and -semantics.
+		if *walDir == "" {
+			fmt.Fprintln(os.Stderr, "semrepro: -wal-burst/-wal-recover require -wal-dir")
+			return exitUsage
+		}
+		if *walBurst && *walRecover {
+			fmt.Fprintln(os.Stderr, "semrepro: -wal-burst and -wal-recover are separate runs")
+			return exitUsage
+		}
+		spec := wal.BurstSpec{Semantics: semantics, Ranks: *ranks, Seed: *seed,
+			Log: wal.Options{Dir: *walDir}}
+		if *walBurst {
+			if err := os.MkdirAll(*walDir, 0o755); err != nil {
+				fmt.Fprintln(os.Stderr, "semrepro:", err)
+				return exitError
+			}
+			res, err := wal.RunBurst(spec)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "semrepro: wal burst:", err)
+				return exitError
+			}
+			text := wal.FormatBurst(spec, res)
+			fmt.Print(text)
+			write("wal_burst.txt", text)
+			write("wal_state.txt", wal.FormatDump(res.Dump))
+			if hardErr {
+				return exitError
+			}
+			if !res.Spec.OK() {
+				return exitDegraded
+			}
+			return exitOK
+		}
+		rep, err := wal.RecoverBurst(spec)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "semrepro: wal recovery:", err)
+			return exitError
+		}
+		text := wal.FormatReport(rep)
+		fmt.Print(text)
+		write("wal_recover.txt", text)
+		write("wal_state.txt", wal.FormatDump(rep.Dump))
+		if hardErr {
+			return exitError
+		}
+		return exitOK
+	}
+
 	if *chaos {
 		seeds, err := parseSeeds(*chaosSeeds)
 		if err != nil {
@@ -120,12 +181,18 @@ func run() (code int) {
 			fmt.Fprintln(os.Stderr, "semrepro: -chaos-semantics:", err)
 			return exitUsage
 		}
-		rep, err := faults.Sweep(context.Background(), faults.SweepOptions{
+		sweepOpts := faults.SweepOptions{
 			Apps:      parseList(*chaosApps),
 			Semantics: sems,
 			Seeds:     seeds,
 			Workers:   *workers,
-		})
+		}
+		if *chaosWAL {
+			// NoFsync: chaos probes the drain/retry/degrade machinery, not
+			// host-disk durability (the kill-and-recover harness covers that).
+			sweepOpts.WAL = &wal.Options{NoFsync: true}
+		}
+		rep, err := faults.Sweep(context.Background(), sweepOpts)
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "semrepro: chaos:", err)
 			return exitError
@@ -178,6 +245,32 @@ func run() (code int) {
 			if !c.Accepted {
 				fmt.Fprintf(os.Stderr, "semrepro: %s under %v rejected by its formal spec (clause %s)\n",
 					c.Config, c.Semantics, c.Clause)
+				return exitDegraded
+			}
+		}
+		return exitOK
+	}
+
+	if *only == "walcompare" {
+		// WAL on/off checkpoint-burst table: each cell reruns with the
+		// op-history recorder attached and must pass its model's formal
+		// spec, so the ack-latency win is only reported for runs proven
+		// semantics-preserving. Opt-in like -only consistency (2x reruns).
+		cells, err := experiments.WALComparison(context.Background(), scale, parseList(*walApps))
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "semrepro: walcompare:", err)
+			if len(cells) == 0 {
+				return exitError
+			}
+		}
+		write("wal_compare.txt", experiments.WALTable(cells))
+		if hardErr {
+			return exitError
+		}
+		for _, c := range cells {
+			if !c.Accepted {
+				fmt.Fprintf(os.Stderr, "semrepro: %s under %v (wal=%v) rejected by its formal spec (clause %s)\n",
+					c.Config, c.Semantics, c.WAL, c.Clause)
 				return exitDegraded
 			}
 		}

@@ -15,6 +15,7 @@ import (
 	"repro/internal/mpi"
 	"repro/internal/pfs"
 	"repro/internal/recorder"
+	"repro/internal/wal"
 )
 
 // Reduction-op aliases so app bodies read like MPI code.
@@ -95,7 +96,11 @@ type Options struct {
 	// fault-free, so every injected fault lands in the application's own
 	// I/O protocol (see internal/faults).
 	Injector pfs.FaultInjector
-	Params   Params
+	// WAL, if set, fronts every rank's pfs client with a host-side
+	// write-ahead log for the traced run only — Setup stages its data
+	// straight through, mirroring how Injector is scoped.
+	WAL    *wal.Options
+	Params Params
 }
 
 // Execute stages and runs a configuration, returning the traced result.
@@ -122,6 +127,7 @@ func Execute(cfg *Config, opts Options) (*harness.Result, error) {
 		}
 	}
 	hc.Injector = opts.Injector
+	hc.WAL = opts.WAL
 	res, err := harness.Run(hc, cfg.Meta(p), func(ctx *harness.Ctx) error {
 		return cfg.Run(ctx, p)
 	})

@@ -197,6 +197,33 @@ func TestReadJournalIsReadOnly(t *testing.T) {
 	}
 }
 
+func TestZeroLengthJournalResumes(t *testing.T) {
+	// A crash between journal creation and the first record's append (the
+	// ckpt.append.begin window) leaves a valid manifest next to a
+	// zero-length journal. Reopening must treat that as a clean empty
+	// store — no salvage, no error — and resume appends normally.
+	dir := t.TempDir()
+	mustOpen(t, dir).Close()
+	if fi, err := os.Stat(journalPath(dir)); err != nil || fi.Size() != 0 {
+		t.Fatalf("journal after open+close: size=%v err=%v, want empty file", fi, err)
+	}
+
+	s := mustOpen(t, dir)
+	if st := s.Stats(); st.Degraded() || st.Records != 0 || st.Keys != 0 {
+		t.Fatalf("zero-length journal recovered as %v, want clean empty", st)
+	}
+	if err := s.Append("a", []byte("after-empty-recovery")); err != nil {
+		t.Fatalf("Append after empty recovery: %v", err)
+	}
+	s.Close()
+
+	s = mustOpen(t, dir)
+	defer s.Close()
+	if b, ok := s.Lookup("a"); !ok || string(b) != "after-empty-recovery" {
+		t.Fatalf("Lookup after resume = %q, %v", b, ok)
+	}
+}
+
 func TestAppendAfterClose(t *testing.T) {
 	dir := t.TempDir()
 	s := mustOpen(t, dir)

@@ -22,6 +22,7 @@ import (
 	"repro/internal/pfs"
 	"repro/internal/recorder"
 	"repro/internal/report"
+	"repro/internal/wal"
 )
 
 // Sweep telemetry: per-configuration wall-clock histogram and outcome
@@ -419,6 +420,7 @@ type BenchResult struct {
 	Semantics     pfs.Semantics
 	Workload      string
 	Ranks         int
+	WAL           bool   // writes acknowledged by a host-side write-ahead log
 	ElapsedNS     uint64 // simulated wall time of the I/O phase
 	LockAcquires  int64
 	LockContended int64
@@ -434,6 +436,18 @@ func PFSBenchWorkloads() []string { return []string{"n1-strided", "nn-filepp", "
 // paper's motivation that strong semantics' per-operation locking is the
 // bottleneck relaxed-semantics PFSs remove (Sections 1 and 3).
 func PFSBench(workload string, sem pfs.Semantics, ranks, ppn int, block int64, opsPerRank int) (BenchResult, error) {
+	return pfsBench(workload, sem, ranks, ppn, block, opsPerRank, nil)
+}
+
+// PFSBenchWAL is PFSBench with every rank's writes acknowledged by a
+// host-side write-ahead log (internal/wal): the ablation's fourth axis —
+// how much of the strong-semantics elapsed time the WAL's local
+// acknowledgement hides, per workload shape.
+func PFSBenchWAL(workload string, sem pfs.Semantics, ranks, ppn int, block int64, opsPerRank int) (BenchResult, error) {
+	return pfsBench(workload, sem, ranks, ppn, block, opsPerRank, &wal.Options{NoFsync: true})
+}
+
+func pfsBench(workload string, sem pfs.Semantics, ranks, ppn int, block int64, opsPerRank int, walOpts *wal.Options) (BenchResult, error) {
 	body := func(ctx *harness.Ctx) error {
 		switch workload {
 		case "n1-strided":
@@ -479,7 +493,7 @@ func PFSBench(workload string, sem pfs.Semantics, ranks, ppn int, block int64, o
 		}
 		return fmt.Errorf("experiments: unknown workload %q", workload)
 	}
-	res, err := harness.Run(harness.Config{Ranks: ranks, PPN: ppn, Semantics: sem},
+	res, err := harness.Run(harness.Config{Ranks: ranks, PPN: ppn, Semantics: sem, WAL: walOpts},
 		recorder.Meta{App: "pfsbench", Variant: workload}, body)
 	if err != nil {
 		return BenchResult{}, err
@@ -498,6 +512,7 @@ func PFSBench(workload string, sem pfs.Semantics, ranks, ppn int, block int64, o
 		Semantics:     sem,
 		Workload:      workload,
 		Ranks:         ranks,
+		WAL:           walOpts != nil,
 		ElapsedNS:     elapsed,
 		LockAcquires:  st.LockAcquires,
 		LockContended: st.LockContended,
@@ -512,16 +527,23 @@ func PFSBenchTable(results []BenchResult) string {
 		if results[i].Workload != results[j].Workload {
 			return results[i].Workload < results[j].Workload
 		}
-		return results[i].Semantics < results[j].Semantics
+		if results[i].Semantics != results[j].Semantics {
+			return results[i].Semantics < results[j].Semantics
+		}
+		return !results[i].WAL && results[j].WAL
 	})
 	var b strings.Builder
 	b.WriteString("Simulated PFS cost by consistency semantics (ablation)\n\n")
-	fmt.Fprintf(&b, "%-12s  %-9s  %6s  %12s  %10s  %10s\n",
-		"workload", "semantics", "ranks", "elapsed(ms)", "lock acqs", "contended")
+	fmt.Fprintf(&b, "%-12s  %-9s  %-4s  %6s  %12s  %10s  %10s\n",
+		"workload", "semantics", "wal", "ranks", "elapsed(ms)", "lock acqs", "contended")
 	b.WriteString(strings.Repeat("-", 70) + "\n")
 	for _, r := range results {
-		fmt.Fprintf(&b, "%-12s  %-9s  %6d  %12.2f  %10d  %10d\n",
-			r.Workload, r.Semantics, r.Ranks, float64(r.ElapsedNS)/1e6,
+		mode := "-"
+		if r.WAL {
+			mode = "on"
+		}
+		fmt.Fprintf(&b, "%-12s  %-9s  %-4s  %6d  %12.2f  %10d  %10d\n",
+			r.Workload, r.Semantics, mode, r.Ranks, float64(r.ElapsedNS)/1e6,
 			r.LockAcquires, r.LockContended)
 	}
 	return b.String()

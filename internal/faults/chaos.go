@@ -14,6 +14,7 @@ import (
 	"repro/internal/pfs"
 	"repro/internal/recorder"
 	"repro/internal/sim"
+	"repro/internal/wal"
 )
 
 // The chaos harness: replay every application configuration under fault
@@ -55,6 +56,11 @@ type SweepOptions struct {
 	// Replay re-runs every cell and checks byte-identical traces and fault
 	// event logs. Doubles the cost.
 	Replay bool
+	// WAL routes every rank's file I/O through a host-side write-ahead log
+	// (internal/wal), so the fault schedules also exercise the background
+	// drain, retry and degradation paths. Leave Dir empty: each rank log
+	// then manages its own private temp directory.
+	WAL *wal.Options
 }
 
 func (o SweepOptions) withDefaults() SweepOptions {
@@ -256,7 +262,7 @@ func replayCell(o SweepOptions, app string, sem pfs.Semantics, seed uint64, sche
 	p.Verify = true // the applications' own read-back checks are the oracle
 	res, err := apps.Execute(cfg, apps.Options{
 		Ranks: o.Ranks, PPN: o.PPN, Seed: seed, Semantics: sem,
-		Injector: inj, Params: p,
+		Injector: inj, Params: p, WAL: o.WAL,
 	})
 	if err != nil {
 		return nil, nil, err

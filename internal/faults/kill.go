@@ -23,6 +23,7 @@ import (
 	"sync"
 
 	"repro/internal/pfs"
+	"repro/internal/wal"
 )
 
 // KillEnv is the environment variable ArmKillPointsFromEnv reads: a
@@ -38,8 +39,9 @@ var kill struct {
 // ArmKillPoints parses a "point:N[,point:N...]" spec and arms each point: the
 // Nth call to Hit(point) will SIGKILL the process. Arming any point whose
 // name starts with "pfs.op." also installs the pfs kill hook, so data-path
-// operations (write/read/commit/close) become killable sites too. An empty
-// spec arms nothing.
+// operations (write/read/commit/close) become killable sites too; arming a
+// "wal."-prefixed point installs the write-ahead-log hook the same way. An
+// empty spec arms nothing.
 func ArmKillPoints(spec string) error {
 	spec = strings.TrimSpace(spec)
 	if spec == "" {
@@ -51,7 +53,7 @@ func ArmKillPoints(spec string) error {
 		kill.armed = make(map[string]int)
 		kill.hits = make(map[string]int)
 	}
-	hookPFS := false
+	hookPFS, hookWAL := false, false
 	for _, part := range strings.Split(spec, ",") {
 		part = strings.TrimSpace(part)
 		if part == "" {
@@ -69,9 +71,15 @@ func ArmKillPoints(spec string) error {
 		if strings.HasPrefix(point, "pfs.op.") {
 			hookPFS = true
 		}
+		if strings.HasPrefix(point, "wal.") {
+			hookWAL = true
+		}
 	}
 	if hookPFS {
 		pfs.SetKillPointHook(func(op pfs.OpInfo) { Hit("pfs.op." + op.Kind.String()) })
+	}
+	if hookWAL {
+		wal.SetKillPointHook(Hit)
 	}
 	return nil
 }
@@ -115,6 +123,7 @@ func ResetKillPoints() {
 	kill.armed, kill.hits = nil, nil
 	kill.mu.Unlock()
 	pfs.SetKillPointHook(nil)
+	wal.SetKillPointHook(nil)
 }
 
 // fallbackExit is the last-resort crash when SIGKILL is unavailable or

@@ -16,6 +16,7 @@ import (
 	"repro/internal/posix"
 	"repro/internal/recorder"
 	"repro/internal/sim"
+	"repro/internal/wal"
 )
 
 // Config parameterizes a run.
@@ -31,6 +32,11 @@ type Config struct {
 	// every client operation passes through fault injection (see pfs.hooks
 	// and internal/faults).
 	Injector pfs.FaultInjector
+	// WAL, if set, gives every rank a host-side write-ahead log in front of
+	// its pfs client (see internal/wal): writes ack at local-append cost and
+	// drain in the background. Logs are closed (fully drained) after the
+	// final barrier; a drain error surfaces as that rank's error.
+	WAL *wal.Options
 }
 
 func (c Config) withDefaults() Config {
@@ -163,6 +169,21 @@ func Run(cfg Config, meta recorder.Meta, body func(*Ctx) error) (*Result, error)
 		ctxs[r].OS.SetJitter(rng.Split(0x10b0 + uint64(r)))
 	}
 
+	logs := make([]*wal.Log, cfg.Ranks)
+	if cfg.WAL != nil {
+		for r := 0; r < cfg.Ranks; r++ {
+			l, err := wal.Open(r, *cfg.WAL)
+			if err != nil {
+				for _, prev := range logs[:r] {
+					prev.Close()
+				}
+				return nil, fmt.Errorf("harness: wal rank %d: %w", r, err)
+			}
+			logs[r] = l
+			ctxs[r].OS.SetWAL(l)
+		}
+	}
+
 	errs := make([]error, cfg.Ranks)
 	var wg sync.WaitGroup
 	for r := 0; r < cfg.Ranks; r++ {
@@ -197,6 +218,14 @@ func Run(cfg Config, meta recorder.Meta, body func(*Ctx) error) (*Result, error)
 		}(ctxs[r])
 	}
 	wg.Wait()
+
+	if cfg.WAL != nil {
+		for r, l := range logs {
+			if err := l.Close(); err != nil && errs[r] == nil {
+				errs[r] = fmt.Errorf("rank %d: wal close: %w", r, err)
+			}
+		}
+	}
 
 	meta.Ranks = cfg.Ranks
 	meta.PPN = cfg.PPN

@@ -382,6 +382,26 @@ func materialize(f *file, off, n int64, visible func(extent) bool, own []extent)
 	return buf, visEnd
 }
 
+// ContentDump snapshots every regular file's fully-published content —
+// all published extents applied in publish order over [0, size), pending
+// (uncommitted) data excluded. Two file systems that went through
+// equivalent op sequences dump byte-identical maps, which is what the WAL
+// kill-and-recover harness diffs: state recovered after a crash versus the
+// state of an uninterrupted run.
+func (fs *FileSystem) ContentDump() map[string][]byte {
+	fs.mu.Lock()
+	defer fs.mu.Unlock()
+	dump := make(map[string][]byte, len(fs.files))
+	for path, f := range fs.files {
+		if f.dir {
+			continue
+		}
+		buf, _ := materialize(f, 0, f.size, func(extent) bool { return true }, nil)
+		dump[path] = buf
+	}
+	return dump
+}
+
 func (fs *FileSystem) String() string {
 	return fmt.Sprintf("pfs{%s, %d servers, stripe %d}", fs.opts.Semantics, fs.opts.DataServers, fs.opts.StripeSize)
 }

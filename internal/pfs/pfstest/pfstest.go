@@ -35,6 +35,13 @@ import (
 // SeedEnv is the environment variable overriding property-test base seeds.
 const SeedEnv = "SEMFS_PROP_SEED"
 
+// TrialsEnv is the environment variable overriding property-test trial
+// counts: a positive integer that replaces every suite's compiled-in count.
+// CI uses it to scale coverage (nightly long runs, quick smoke legs)
+// without touching code; combined with SEMFS_PROP_SEED=N and
+// SEMFS_PROP_TRIALS=1 it replays exactly one failing trial.
+const TrialsEnv = "SEMFS_PROP_TRIALS"
+
 // Kind enumerates schedule operations.
 type Kind int
 
@@ -370,9 +377,22 @@ func BaseSeed(tb testing.TB, def int64) int64 {
 
 // Trials runs fn once per trial, each inside a subtest named with the
 // trial's exact derived seed — a failing trial therefore reports its seed
-// in the test path, and SEMFS_PROP_SEED=<seed> with trials=1 replays it.
+// in the test path, and SEMFS_PROP_SEED=<seed> with SEMFS_PROP_TRIALS=1
+// replays it. The trials argument is a default: SEMFS_PROP_TRIALS, when
+// set, overrides it for every suite, and the effective count is logged
+// alongside the base seed so a test log always states exactly what ran.
 func Trials(t *testing.T, base int64, trials int, fn func(t *testing.T, rng *rand.Rand)) {
 	t.Helper()
+	if s := os.Getenv(TrialsEnv); s != "" {
+		v, err := strconv.Atoi(s)
+		if err != nil || v < 1 {
+			t.Fatalf("pfstest: bad %s=%q: want a positive integer", TrialsEnv, s)
+		}
+		trials = v
+		t.Logf("pfstest: base seed %d, %d trial(s) (from %s)", base, trials, TrialsEnv)
+	} else {
+		t.Logf("pfstest: base seed %d, %d trial(s) (override count with %s)", base, trials, TrialsEnv)
+	}
 	for i := 0; i < trials; i++ {
 		seed := base + int64(i)
 		t.Run(fmt.Sprintf("seed=%d", seed), func(t *testing.T) {

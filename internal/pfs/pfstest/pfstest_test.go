@@ -1,0 +1,36 @@
+package pfstest
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func TestTrialsEnvOverridesCount(t *testing.T) {
+	t.Setenv(TrialsEnv, "3")
+	ran := 0
+	Trials(t, 100, 10, func(t *testing.T, rng *rand.Rand) { ran++ })
+	if ran != 3 {
+		t.Fatalf("ran %d trials with %s=3, want 3", ran, TrialsEnv)
+	}
+}
+
+func TestTrialsDefaultCount(t *testing.T) {
+	t.Setenv(TrialsEnv, "")
+	ran := 0
+	var seeds []int64
+	Trials(t, 7, 4, func(t *testing.T, rng *rand.Rand) {
+		ran++
+		seeds = append(seeds, rng.Int63())
+	})
+	if ran != 4 {
+		t.Fatalf("ran %d trials, want the default 4", ran)
+	}
+	// Same base seed, same derived streams.
+	var again []int64
+	Trials(t, 7, 4, func(t *testing.T, rng *rand.Rand) { again = append(again, rng.Int63()) })
+	for i := range seeds {
+		if seeds[i] != again[i] {
+			t.Fatalf("trial %d drew %d then %d from the same seed", i, seeds[i], again[i])
+		}
+	}
+}

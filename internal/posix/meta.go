@@ -24,6 +24,10 @@ func (p *Proc) Lstat(pth string) (pfs.FileInfo, error) {
 func (p *Proc) statAs(fn recorder.Func, pth string) (pfs.FileInfo, error) {
 	ts := p.clock.Stamp()
 	apth := p.abs(pth)
+	if berr := p.metaBarrier(); berr != nil {
+		p.emit(fn, ts, apth, "")
+		return pfs.FileInfo{}, berr
+	}
 	info, cost, err := p.client.FS().Stat(apth)
 	p.advance(cost + p.cost.MetaCost)
 	p.emit(fn, ts, apth, "")
@@ -38,6 +42,10 @@ func (p *Proc) Fstat(fdnum int) (pfs.FileInfo, error) {
 		p.emit(recorder.FuncFstat, ts, "", "", int64(fdnum))
 		return pfs.FileInfo{}, err
 	}
+	if berr := p.metaBarrier(); berr != nil {
+		p.emit(recorder.FuncFstat, ts, "", "", int64(fdnum))
+		return pfs.FileInfo{}, berr
+	}
 	info, cost, serr := p.client.FS().Stat(f.path)
 	p.advance(cost + p.cost.MetaCost)
 	p.emit(recorder.FuncFstat, ts, "", "", int64(fdnum))
@@ -48,6 +56,10 @@ func (p *Proc) Fstat(fdnum int) (pfs.FileInfo, error) {
 func (p *Proc) Access(pth string) error {
 	ts := p.clock.Stamp()
 	apth := p.abs(pth)
+	if berr := p.metaBarrier(); berr != nil {
+		p.emit(recorder.FuncAccess, ts, apth, "")
+		return berr
+	}
 	_, cost, err := p.client.FS().Stat(apth)
 	p.advance(cost + p.cost.MetaCost)
 	p.emit(recorder.FuncAccess, ts, apth, "")
@@ -58,6 +70,10 @@ func (p *Proc) Access(pth string) error {
 func (p *Proc) Unlink(pth string) error {
 	ts := p.clock.Stamp()
 	apth := p.abs(pth)
+	if berr := p.metaBarrier(); berr != nil {
+		p.emit(recorder.FuncUnlink, ts, apth, "")
+		return berr
+	}
 	cost, err := p.client.FS().Unlink(apth)
 	p.advance(cost + p.cost.MetaCost)
 	p.emit(recorder.FuncUnlink, ts, apth, "")
@@ -68,6 +84,10 @@ func (p *Proc) Unlink(pth string) error {
 func (p *Proc) Remove(pth string) error {
 	ts := p.clock.Stamp()
 	apth := p.abs(pth)
+	if berr := p.metaBarrier(); berr != nil {
+		p.emit(recorder.FuncRemove, ts, apth, "")
+		return berr
+	}
 	cost, err := p.client.FS().Unlink(apth)
 	p.advance(cost + p.cost.MetaCost)
 	p.emit(recorder.FuncRemove, ts, apth, "")
@@ -88,6 +108,10 @@ func (p *Proc) Mkdir(pth string, mode int64) error {
 func (p *Proc) Rename(oldPth, newPth string) error {
 	ts := p.clock.Stamp()
 	ao, an := p.abs(oldPth), p.abs(newPth)
+	if berr := p.metaBarrier(); berr != nil {
+		p.emit(recorder.FuncRename, ts, ao, an)
+		return berr
+	}
 	cost, err := p.client.FS().Rename(ao, an)
 	p.advance(cost + p.cost.MetaCost)
 	p.emit(recorder.FuncRename, ts, ao, an)
@@ -99,13 +123,13 @@ func (p *Proc) Truncate(pth string, length int64) error {
 	ts := p.clock.Stamp()
 	apth := p.abs(pth)
 	// Path truncate: open-truncate-close on the metadata path.
-	h, cost, err := p.client.Open(apth, recorder.OWronly, p.clock.Now())
+	h, cost, err := p.pfsOpen(apth, recorder.OWronly, p.clock.Now())
 	p.advance(cost)
 	if err == nil {
 		var tcost uint64
-		tcost, err = h.Truncate(length)
+		tcost, err = p.pfsTruncate(h, length)
 		p.advance(tcost)
-		ccost, _ := h.Close(p.clock.Now())
+		ccost, _ := p.pfsClose(h, p.clock.Now())
 		p.advance(ccost)
 	}
 	p.emit(recorder.FuncTruncate, ts, apth, "", length)

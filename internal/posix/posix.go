@@ -15,6 +15,7 @@ import (
 	"repro/internal/pfs"
 	"repro/internal/recorder"
 	"repro/internal/sim"
+	"repro/internal/wal"
 )
 
 // Errors returned by the layer (in addition to wrapped pfs errors).
@@ -38,6 +39,7 @@ type Proc struct {
 	clock  *sim.Clock
 	tracer *recorder.RankTracer
 	client *pfs.Client
+	wal    *wal.Log // optional write-ahead log in front of the pfs data path
 	cost   sim.CostModel
 	jit    *sim.RNG // optional per-op cost jitter
 	fds    map[int]*fd
@@ -74,6 +76,79 @@ func (p *Proc) Clock() *sim.Clock { return p.clock }
 // requests in the global stream (§6.2's "interleaved in time"). Without a
 // source, costs are exact.
 func (p *Proc) SetJitter(rng *sim.RNG) { p.jit = rng }
+
+// SetWAL interposes a host-side write-ahead log between this rank's POSIX
+// layer and the pfs data path: writes return at local-append cost and drain
+// in the background, while every non-write operation is a drain barrier
+// (see internal/wal). Once attached, the log owns all access to the rank's
+// pfs client — posix must not bypass it, because the client itself is not
+// goroutine-safe against the background drainer.
+func (p *Proc) SetWAL(l *wal.Log) { p.wal = l }
+
+// WAL returns the attached write-ahead log, if any.
+func (p *Proc) WAL() *wal.Log { return p.wal }
+
+// The pfs* helpers are the single seam where handle operations either go
+// straight to the pfs or through the attached WAL.
+
+func (p *Proc) pfsOpen(apth string, flags int, now uint64) (*pfs.Handle, uint64, error) {
+	if p.wal != nil {
+		return p.wal.Open(p.client, apth, flags, now)
+	}
+	return p.client.Open(apth, flags, now)
+}
+
+func (p *Proc) pfsWrite(h *pfs.Handle, off int64, data []byte, now uint64) (uint64, error) {
+	if p.wal != nil {
+		return p.wal.Write(h, off, data, now)
+	}
+	return h.Write(off, data, now)
+}
+
+func (p *Proc) pfsRead(h *pfs.Handle, off, n int64, now uint64) ([]byte, uint64, error) {
+	if p.wal != nil {
+		return p.wal.Read(h, off, n, now)
+	}
+	return h.Read(off, n, now)
+}
+
+func (p *Proc) pfsCommit(h *pfs.Handle, now uint64) (uint64, error) {
+	if p.wal != nil {
+		return p.wal.Commit(h, now)
+	}
+	return h.Commit(now)
+}
+
+func (p *Proc) pfsClose(h *pfs.Handle, now uint64) (uint64, error) {
+	if p.wal != nil {
+		return p.wal.CloseHandle(h, now)
+	}
+	return h.Close(now)
+}
+
+func (p *Proc) pfsTruncate(h *pfs.Handle, length int64) (uint64, error) {
+	if p.wal != nil {
+		return p.wal.Truncate(h, length)
+	}
+	return h.Truncate(length)
+}
+
+func (p *Proc) pfsVisibleSize(h *pfs.Handle, now uint64) int64 {
+	if p.wal != nil {
+		return p.wal.VisibleSize(h, now)
+	}
+	return h.VisibleSize(now)
+}
+
+// metaBarrier drains the WAL before a metadata operation that observes or
+// mutates fs-level state (stat, unlink, rename), so acked-but-undrained
+// writes are never invisible to metadata.
+func (p *Proc) metaBarrier() error {
+	if p.wal != nil {
+		return p.wal.Barrier()
+	}
+	return nil
+}
 
 // advance moves the clock by the operation cost plus jitter.
 func (p *Proc) advance(cost uint64) {
@@ -126,7 +201,7 @@ func (p *Proc) Creat(pth string, mode int64) (int, error) {
 func (p *Proc) openAs(fn recorder.Func, pth string, flags int, mode int64, stdio bool) (int, error) {
 	ts := p.clock.Stamp()
 	apth := p.abs(pth)
-	h, cost, err := p.client.Open(apth, flags, p.clock.Now())
+	h, cost, err := p.pfsOpen(apth, flags, p.clock.Now())
 	p.advance(cost)
 	if err != nil {
 		p.emit(fn, ts, apth, "", int64(flags), mode, -1)
@@ -156,7 +231,7 @@ func (p *Proc) closeAs(fn recorder.Func, fdnum int) error {
 		p.emit(fn, ts, "", "", int64(fdnum))
 		return err
 	}
-	cost, cerr := f.h.Close(p.clock.Now())
+	cost, cerr := p.pfsClose(f.h, p.clock.Now())
 	p.advance(cost)
 	delete(p.fds, fdnum)
 	p.emit(fn, ts, "", "", int64(fdnum))
@@ -173,9 +248,9 @@ func (p *Proc) Write(fdnum int, data []byte) (int64, error) {
 		return -1, err
 	}
 	if f.appendMd {
-		f.offset = f.h.VisibleSize(p.clock.Now())
+		f.offset = p.pfsVisibleSize(f.h, p.clock.Now())
 	}
-	cost, werr := f.h.Write(f.offset, data, p.clock.Now())
+	cost, werr := p.pfsWrite(f.h, f.offset, data, p.clock.Now())
 	p.advance(cost)
 	if werr != nil {
 		p.emit(recorder.FuncWrite, ts, "", "", int64(fdnum), int64(len(data)), -1)
@@ -195,7 +270,7 @@ func (p *Proc) Read(fdnum int, n int64) ([]byte, error) {
 		p.emit(recorder.FuncRead, ts, "", "", int64(fdnum), n, -1)
 		return nil, err
 	}
-	data, cost, rerr := f.h.Read(f.offset, n, p.clock.Now())
+	data, cost, rerr := p.pfsRead(f.h, f.offset, n, p.clock.Now())
 	p.advance(cost)
 	if rerr != nil {
 		p.emit(recorder.FuncRead, ts, "", "", int64(fdnum), n, -1)
@@ -214,7 +289,7 @@ func (p *Proc) Pwrite(fdnum int, data []byte, off int64) (int64, error) {
 		p.emit(recorder.FuncPwrite, ts, "", "", int64(fdnum), int64(len(data)), off, -1)
 		return -1, err
 	}
-	cost, werr := f.h.Write(off, data, p.clock.Now())
+	cost, werr := p.pfsWrite(f.h, off, data, p.clock.Now())
 	p.advance(cost)
 	if werr != nil {
 		p.emit(recorder.FuncPwrite, ts, "", "", int64(fdnum), int64(len(data)), off, -1)
@@ -232,7 +307,7 @@ func (p *Proc) Pread(fdnum int, n, off int64) ([]byte, error) {
 		p.emit(recorder.FuncPread, ts, "", "", int64(fdnum), n, off, -1)
 		return nil, err
 	}
-	data, cost, rerr := f.h.Read(off, n, p.clock.Now())
+	data, cost, rerr := p.pfsRead(f.h, off, n, p.clock.Now())
 	p.advance(cost)
 	if rerr != nil {
 		p.emit(recorder.FuncPread, ts, "", "", int64(fdnum), n, off, -1)
@@ -262,7 +337,7 @@ func (p *Proc) seekAs(fn recorder.Func, fdnum int, off int64, whence int) (int64
 	case recorder.SeekCur:
 		base = f.offset
 	case recorder.SeekEnd:
-		base = f.h.VisibleSize(p.clock.Now())
+		base = p.pfsVisibleSize(f.h, p.clock.Now())
 	default:
 		p.emit(fn, ts, "", "", int64(fdnum), off, int64(whence), -1)
 		return -1, fmt.Errorf("posix: bad whence %d", whence)
@@ -291,7 +366,7 @@ func (p *Proc) syncAs(fn recorder.Func, fdnum int) error {
 		p.emit(fn, ts, "", "", int64(fdnum))
 		return err
 	}
-	cost, serr := f.h.Commit(p.clock.Now())
+	cost, serr := p.pfsCommit(f.h, p.clock.Now())
 	p.advance(cost)
 	p.emit(fn, ts, "", "", int64(fdnum))
 	return serr
@@ -305,7 +380,7 @@ func (p *Proc) Ftruncate(fdnum int, length int64) error {
 		p.emit(recorder.FuncFtruncate, ts, "", "", int64(fdnum), length)
 		return err
 	}
-	cost, terr := f.h.Truncate(length)
+	cost, terr := p.pfsTruncate(f.h, length)
 	p.advance(cost)
 	p.emit(recorder.FuncFtruncate, ts, "", "", int64(fdnum), length)
 	return terr

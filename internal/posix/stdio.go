@@ -53,9 +53,9 @@ func (p *Proc) Fwrite(fdnum int, data []byte, size, nmemb int64) (int64, error) 
 		return -1, err
 	}
 	if f.appendMd {
-		f.offset = f.h.VisibleSize(p.clock.Now())
+		f.offset = p.pfsVisibleSize(f.h, p.clock.Now())
 	}
-	cost, werr := f.h.Write(f.offset, data, p.clock.Now())
+	cost, werr := p.pfsWrite(f.h, f.offset, data, p.clock.Now())
 	p.advance(cost)
 	if werr != nil {
 		p.emit(recorder.FuncFwrite, ts, "", "", int64(fdnum), size, nmemb, -1)
@@ -74,7 +74,7 @@ func (p *Proc) Fread(fdnum int, size, nmemb int64) ([]byte, error) {
 		p.emit(recorder.FuncFread, ts, "", "", int64(fdnum), size, nmemb, -1)
 		return nil, err
 	}
-	data, cost, rerr := f.h.Read(f.offset, size*nmemb, p.clock.Now())
+	data, cost, rerr := p.pfsRead(f.h, f.offset, size*nmemb, p.clock.Now())
 	p.advance(cost)
 	if rerr != nil {
 		p.emit(recorder.FuncFread, ts, "", "", int64(fdnum), size, nmemb, -1)

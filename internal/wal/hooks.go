@@ -1,0 +1,42 @@
+package wal
+
+import (
+	"os"
+	"sync/atomic"
+	"time"
+)
+
+// KillPointFunc observes a named WAL kill point. The faults package installs
+// its process-kill counter here (mirroring pfs.SetKillPointHook) when
+// SEMFS_KILL arms a "wal."-prefixed point; the wal package itself never
+// imports faults, which is what keeps the wal → pfs layering acyclic while
+// chaos code in faults drives WAL-backed app runs.
+type KillPointFunc func(point string)
+
+var killHook atomic.Pointer[KillPointFunc]
+
+// SetKillPointHook installs fn as the process-wide WAL kill-point observer.
+// Pass nil to remove it. The nil fast path costs one atomic load.
+func SetKillPointHook(fn KillPointFunc) {
+	if fn == nil {
+		killHook.Store(nil)
+		return
+	}
+	killHook.Store(&fn)
+}
+
+func hitKillPoint(point string) {
+	if fn := killHook.Load(); fn != nil {
+		(*fn)(point)
+	}
+}
+
+// fsyncTimed syncs f and records the real durability cost. Host wall time,
+// not simulated: this is the one genuinely nondeterministic instrument in
+// the package, same caveat as ckpt.journal.fsync_ns.
+func fsyncTimed(f *os.File) error {
+	start := time.Now()
+	err := f.Sync()
+	appendFsyncNS.Observe(time.Since(start).Nanoseconds())
+	return err
+}

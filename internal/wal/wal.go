@@ -1,0 +1,443 @@
+// Package wal is a per-client host-side write-ahead log in front of the
+// simulated parallel file system (internal/pfs). It models the node-local
+// logging tier that systems like ParaLog and iFast put under checkpoint
+// bursts: a write is acknowledged as soon as it is CRC-framed, appended and
+// fsync'd to a local log file, and a background drainer replays it into the
+// pfs data path with bounded in-flight depth, retrying transient faults
+// with jittered exponential backoff. When the local log cannot absorb the
+// burst — the log disk fails or the drain queue exceeds its watermark —
+// the log degrades gracefully to synchronous write-through.
+//
+// Consistency is preserved per model by two ordering rules (DESIGN.md §13):
+// drain is strictly FIFO per client, and every non-write operation on a
+// WAL-attached client (read, commit, close, truncate, laminate, visible
+// size, open) is a full drain barrier. The pfs therefore observes exactly
+// the program-order op sequence it would without the WAL, with each drained
+// write carrying the simulated timestamp captured at ack time — so the
+// formal specs in internal/consistency accept WAL-mediated histories for
+// all four models.
+package wal
+
+import (
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"runtime"
+	"sync"
+	"time"
+
+	"repro/internal/pfs"
+)
+
+// Options configures one per-rank Log.
+type Options struct {
+	// Dir holds the per-rank log files ("rank-%04d.wal"). Empty means a
+	// private temp dir removed on Close — right for benchmarks; crash
+	// recovery needs a caller-owned Dir that survives the process.
+	Dir string
+	// MaxInflight bounds how many queued records one background drain batch
+	// replays per lock hold. Default 16.
+	MaxInflight int
+	// Watermark is the drain-queue depth at which new writes degrade to
+	// synchronous write-through (after first forcing a full drain), keeping
+	// host memory and replay lag bounded. Default 256.
+	Watermark int
+	// MaxRetries bounds per-record drain retries on pfs.ErrTransient before
+	// the record is dropped and the error surfaced. Default 6.
+	MaxRetries int
+	// Retry shapes the drain retry backoff (zero value = package defaults).
+	Retry Backoff
+	// AckBaseNS and AckBytesPerNS price the simulated acknowledgement of a
+	// logged write: cost = AckBaseNS + len/AckBytesPerNS. The defaults
+	// (1500ns + 1ns per 8 bytes) model a node-local NVMe append — far under
+	// sim.CostModel's parallel-FS write path, which is the point of the WAL.
+	AckBaseNS     uint64
+	AckBytesPerNS uint64
+	// NoFsync skips the per-append fsync. Test/bench-only: it voids the
+	// durability guarantee that makes acked writes crash-safe.
+	NoFsync bool
+}
+
+func (o Options) withDefaults() Options {
+	if o.MaxInflight <= 0 {
+		o.MaxInflight = 16
+	}
+	if o.Watermark <= 0 {
+		o.Watermark = 256
+	}
+	if o.MaxRetries <= 0 {
+		o.MaxRetries = 6
+	}
+	o.Retry = o.Retry.withDefaults()
+	if o.AckBaseNS == 0 {
+		o.AckBaseNS = 1500
+	}
+	if o.AckBytesPerNS == 0 {
+		o.AckBytesPerNS = 8
+	}
+	return o
+}
+
+// Stats counts one Log's activity. Everything except retry timing is a
+// deterministic function of the run.
+type Stats struct {
+	Acked        int64 // writes acknowledged from the local log
+	AckedBytes   int64
+	Drained      int64 // records replayed into the pfs backend
+	WriteThrough int64 // writes degraded to synchronous write-through
+	Retries      int64 // drain retries after transient pfs faults
+	QueuePeak    int   // high-water drain-queue depth
+	Salvaged     int   // records salvaged from a pre-existing log file
+}
+
+type queued struct {
+	h       *pfs.Handle
+	off     int64
+	data    []byte
+	now     uint64 // simulated ack timestamp, replayed verbatim at drain
+	attempt int
+}
+
+// Log is one rank's write-ahead log. All operations on the underlying
+// pfs.Client and its handles MUST go through the Log once it is attached:
+// pfs clients are not goroutine-safe, and l.mu is what serializes the
+// application thread against the background drainer.
+type Log struct {
+	rank    int
+	opts    Options
+	dir     string
+	ownsDir bool
+	file    *os.File
+
+	mu       sync.Mutex
+	cond     *sync.Cond
+	queue    []queued
+	stopped  bool
+	degraded bool  // sticky write-through after a local log failure
+	deferred error // first background drain error, surfaced at next foreground op
+	stats    Stats
+
+	done chan struct{}
+}
+
+// Open creates (or reopens) rank's log file under opts.Dir and starts the
+// background drainer. A pre-existing file is salvaged ckpt-style: complete
+// records are kept (they are acked writes a previous incarnation had not
+// yet confirmed drained — recovery wants them; see RecoverDir), a torn tail
+// is truncated so new appends land on a record boundary.
+func Open(rank int, opts Options) (*Log, error) {
+	opts = opts.withDefaults()
+	dir := opts.Dir
+	ownsDir := false
+	if dir == "" {
+		d, err := os.MkdirTemp("", "semfs-wal-")
+		if err != nil {
+			return nil, fmt.Errorf("wal: temp dir: %w", err)
+		}
+		dir, ownsDir = d, true
+	} else if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("wal: %w", err)
+	}
+	path := filepath.Join(dir, logName(rank))
+	f, err := os.OpenFile(path, os.O_CREATE|os.O_RDWR, 0o644)
+	if err != nil {
+		return nil, fmt.Errorf("wal: %w", err)
+	}
+	recs, _, good, err := recoverRecords(f)
+	if err != nil {
+		f.Close()
+		return nil, fmt.Errorf("wal: salvaging %s: %w", path, err)
+	}
+	if err := f.Truncate(good); err != nil {
+		f.Close()
+		return nil, fmt.Errorf("wal: truncating torn tail of %s: %w", path, err)
+	}
+	if _, err := f.Seek(good, 0); err != nil {
+		f.Close()
+		return nil, fmt.Errorf("wal: %w", err)
+	}
+	l := &Log{rank: rank, opts: opts, dir: dir, ownsDir: ownsDir, file: f,
+		done: make(chan struct{})}
+	l.cond = sync.NewCond(&l.mu)
+	l.stats.Salvaged = len(recs)
+	go l.drainLoop()
+	return l, nil
+}
+
+func logName(rank int) string { return fmt.Sprintf("rank-%04d.wal", rank) }
+
+// Dir returns the directory holding this log's file.
+func (l *Log) Dir() string { return l.dir }
+
+// Stats returns a snapshot of the log's counters.
+func (l *Log) Stats() Stats {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.stats
+}
+
+// Degraded reports whether the log has stuck in synchronous write-through
+// after a local append failure.
+func (l *Log) Degraded() bool {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.degraded
+}
+
+func (l *Log) takeDeferredLocked() error {
+	err := l.deferred
+	l.deferred = nil
+	return err
+}
+
+// Write acknowledges one application write. Fast path: durable local
+// append, enqueue for background drain, return the (cheap) simulated ack
+// cost. Degraded paths — sticky log failure or queue over watermark —
+// drain everything and write through synchronously at full pfs cost.
+func (l *Log) Write(h *pfs.Handle, off int64, data []byte, now uint64) (uint64, error) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if err := l.takeDeferredLocked(); err != nil {
+		return 0, err
+	}
+	if l.degraded || l.stopped || len(l.queue) >= l.opts.Watermark {
+		return l.writeThroughLocked(h, off, data, now)
+	}
+	if _, err := appendRecord(l.file, Record{Path: h.Path(), Off: off, Now: now, Data: data}, l.opts.NoFsync); err != nil {
+		// Local log disk failed (full, unwritable, gone). The write itself
+		// can still succeed the slow way; stick in write-through so no
+		// later ack ever rests on a log that cannot hold it.
+		l.degraded = true
+		degradeLogFailures.Inc()
+		return l.writeThroughLocked(h, off, data, now)
+	}
+	cp := make([]byte, len(data))
+	copy(cp, data)
+	l.queue = append(l.queue, queued{h: h, off: off, data: cp, now: now})
+	if n := len(l.queue); n > l.stats.QueuePeak {
+		l.stats.QueuePeak = n
+		queueDepthPeak.SetMax(int64(n))
+	}
+	l.stats.Acked++
+	l.stats.AckedBytes += int64(len(data))
+	l.cond.Signal()
+	cost := l.opts.AckBaseNS + uint64(len(data))/l.opts.AckBytesPerNS
+	ackCostNS.Observe(int64(cost))
+	return cost, nil
+}
+
+func (l *Log) writeThroughLocked(h *pfs.Handle, off int64, data []byte, now uint64) (uint64, error) {
+	l.stats.WriteThrough++
+	degradeWriteThrough.Inc()
+	if err := l.drainAllLocked(); err != nil {
+		return 0, err
+	}
+	return h.Write(off, data, now)
+}
+
+// Barrier drains the queue and surfaces any deferred drain error. Every
+// non-write operation routed through the Log is implicitly one of these.
+func (l *Log) Barrier() error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if err := l.takeDeferredLocked(); err != nil {
+		return err
+	}
+	return l.drainAllLocked()
+}
+
+// Open is a drain barrier plus pfs open, so an O_TRUNC open can never be
+// reordered ahead of writes acked before it.
+func (l *Log) Open(c *pfs.Client, path string, flags int, now uint64) (*pfs.Handle, uint64, error) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if err := l.takeDeferredLocked(); err != nil {
+		return nil, 0, err
+	}
+	if err := l.drainAllLocked(); err != nil {
+		return nil, 0, err
+	}
+	return c.Open(path, flags, now)
+}
+
+// Read is a drain barrier plus pfs read: read-your-writes holds because
+// every acked write is in the pfs before the read issues.
+func (l *Log) Read(h *pfs.Handle, off, n int64, now uint64) ([]byte, uint64, error) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if err := l.takeDeferredLocked(); err != nil {
+		return nil, 0, err
+	}
+	if err := l.drainAllLocked(); err != nil {
+		return nil, 0, err
+	}
+	return h.Read(off, n, now)
+}
+
+// Commit is a drain barrier plus pfs commit — the fsync the application
+// sees covers every write it has been acked for.
+func (l *Log) Commit(h *pfs.Handle, now uint64) (uint64, error) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if err := l.takeDeferredLocked(); err != nil {
+		return 0, err
+	}
+	if err := l.drainAllLocked(); err != nil {
+		return 0, err
+	}
+	return h.Commit(now)
+}
+
+// CloseHandle is a drain barrier plus pfs close.
+func (l *Log) CloseHandle(h *pfs.Handle, now uint64) (uint64, error) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if err := l.takeDeferredLocked(); err != nil {
+		return 0, err
+	}
+	if err := l.drainAllLocked(); err != nil {
+		return 0, err
+	}
+	return h.Close(now)
+}
+
+// Laminate is a drain barrier plus pfs laminate.
+func (l *Log) Laminate(h *pfs.Handle, now uint64) (uint64, error) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if err := l.takeDeferredLocked(); err != nil {
+		return 0, err
+	}
+	if err := l.drainAllLocked(); err != nil {
+		return 0, err
+	}
+	return h.Laminate(now)
+}
+
+// Truncate is a drain barrier plus pfs truncate.
+func (l *Log) Truncate(h *pfs.Handle, length int64) (uint64, error) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if err := l.takeDeferredLocked(); err != nil {
+		return 0, err
+	}
+	if err := l.drainAllLocked(); err != nil {
+		return 0, err
+	}
+	return h.Truncate(length)
+}
+
+// VisibleSize is a drain barrier plus pfs VisibleSize. It cannot return an
+// error, so a drain failure is re-deferred for the next erroring op.
+func (l *Log) VisibleSize(h *pfs.Handle, now uint64) int64 {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if err := l.drainAllLocked(); err != nil && l.deferred == nil {
+		l.deferred = err
+	}
+	return h.VisibleSize(now)
+}
+
+// drainStepLocked replays the queue head into the pfs. Called with l.mu
+// held; temporarily releases it to sleep a backoff after a transient fault.
+// Returns the error that permanently failed a record (the record is
+// dropped), or nil. After a backoff the caller must re-examine the queue:
+// whoever holds the lock next drains the (possibly different) head.
+func (l *Log) drainStepLocked() error {
+	if len(l.queue) == 0 {
+		return nil
+	}
+	rec := l.queue[0]
+	hitKillPoint("wal.drain.before-publish")
+	_, err := rec.h.Write(rec.off, rec.data, rec.now)
+	if err != nil && errors.Is(err, pfs.ErrTransient) && rec.attempt < l.opts.MaxRetries {
+		l.queue[0].attempt++
+		l.stats.Retries++
+		drainRetries.Inc()
+		d := l.opts.Retry.Delay(rec.attempt)
+		drainBackoffNS.Observe(int64(d))
+		l.mu.Unlock()
+		time.Sleep(time.Duration(d))
+		l.mu.Lock()
+		return nil
+	}
+	l.queue = l.queue[1:]
+	if len(l.queue) == 0 {
+		l.queue = nil // release the drained backing array
+	}
+	if err != nil {
+		drainErrors.Inc()
+		return fmt.Errorf("wal: drain rank %d %s+%d: %w", l.rank, rec.h.Path(), rec.off, err)
+	}
+	hitKillPoint("wal.drain.after-publish")
+	l.stats.Drained++
+	drainRecords.Inc()
+	return nil
+}
+
+// drainAllLocked empties the queue, remembering the first permanent error
+// but still attempting the rest — later records may target healthy files.
+func (l *Log) drainAllLocked() error {
+	var first error
+	for len(l.queue) > 0 {
+		if err := l.drainStepLocked(); err != nil && first == nil {
+			first = err
+		}
+	}
+	return first
+}
+
+func (l *Log) drainLoop() {
+	defer close(l.done)
+	l.mu.Lock()
+	for {
+		for len(l.queue) == 0 && !l.stopped {
+			l.cond.Wait()
+		}
+		if len(l.queue) == 0 && l.stopped {
+			break
+		}
+		drainBatches.Inc()
+		for i := 0; i < l.opts.MaxInflight && len(l.queue) > 0; i++ {
+			if err := l.drainStepLocked(); err != nil && l.deferred == nil {
+				l.deferred = err
+			}
+		}
+		// Yield between batches so a foreground op never waits behind an
+		// arbitrarily long queue.
+		l.mu.Unlock()
+		runtime.Gosched()
+		l.mu.Lock()
+	}
+	l.mu.Unlock()
+}
+
+// Close drains every outstanding record, stops the drainer, closes the log
+// file and — for a Log that owned a private temp dir — removes it. The
+// returned error is the first drain error not yet surfaced, if any.
+func (l *Log) Close() error {
+	l.mu.Lock()
+	if l.stopped {
+		l.mu.Unlock()
+		<-l.done
+		return nil
+	}
+	l.stopped = true
+	err := l.drainAllLocked()
+	if err == nil {
+		err = l.takeDeferredLocked()
+	} else {
+		l.deferred = nil
+	}
+	l.cond.Broadcast()
+	l.mu.Unlock()
+	<-l.done
+	if ferr := l.file.Close(); err == nil && ferr != nil {
+		err = ferr
+	}
+	if l.ownsDir {
+		os.RemoveAll(l.dir)
+	}
+	return err
+}

@@ -19,6 +19,7 @@ import (
 	_ "repro/internal/faults"
 	_ "repro/internal/pfs"
 	_ "repro/internal/recorder"
+	_ "repro/internal/wal"
 )
 
 const obsSchemaGolden = "testdata/obs_schema.golden"
