@@ -22,6 +22,9 @@ import (
 	"repro/internal/faults"
 	"repro/internal/obs"
 	"repro/internal/pfs"
+
+	// Live /metrics exporter behind the -serve-metrics flag.
+	_ "repro/internal/obs/live"
 )
 
 func main() { os.Exit(run()) }

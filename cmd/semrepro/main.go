@@ -37,6 +37,9 @@ import (
 	"repro/internal/pfs"
 	"repro/internal/report"
 	"repro/internal/wal"
+
+	// Live /metrics exporter behind the -serve-metrics flag.
+	_ "repro/internal/obs/live"
 )
 
 const (
@@ -70,15 +73,28 @@ func run() (code int) {
 		walRecover = flag.Bool("wal-recover", false, "recover a (possibly crash-interrupted) WAL burst from -wal-dir and verify zero acked-write loss")
 		walDir     = flag.String("wal-dir", "", "write-ahead log directory for -wal-burst / -wal-recover")
 		walApps    = flag.String("wal-apps", "", "comma-separated configuration names for -only walcompare (default: the FLASH/HACC burst set)")
+		flightDump = flag.String("flight-dump", "", "replay a flight-recorder dump file (written by -flight on a crash) and exit")
 		tele       obs.CLIFlags
 	)
 	tele.Register(flag.CommandLine)
 	flag.Parse()
-	if err := faults.ArmKillPointsFromEnv(); err != nil {
+	defer obs.FlightPanicDump()
+	if *flightDump != "" {
+		d, err := obs.LoadFlightDump(*flightDump)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "semrepro:", err)
+			return exitError
+		}
+		fmt.Print(obs.FormatFlightDump(d))
+		return exitOK
+	}
+	// Telemetry first: -flight arms the flight recorder, so the kill.armed
+	// events ArmKillPointsFromEnv records land in the ring.
+	if err := tele.Start(os.Stderr); err != nil {
 		fmt.Fprintln(os.Stderr, "semrepro:", err)
 		return exitUsage
 	}
-	if err := tele.Start(os.Stderr); err != nil {
+	if err := faults.ArmKillPointsFromEnv(); err != nil {
 		fmt.Fprintln(os.Stderr, "semrepro:", err)
 		return exitUsage
 	}

@@ -14,9 +14,15 @@ import (
 	"os"
 
 	semfs "repro"
+	"repro/internal/obs"
+
+	// Live /metrics exporter behind the -serve-metrics flag.
+	_ "repro/internal/obs/live"
 )
 
-func main() {
+func main() { os.Exit(run()) }
+
+func run() (code int) {
 	var (
 		app       = flag.String("app", "", "application configuration name (see -list)")
 		list      = flag.Bool("list", false, "list available application configurations")
@@ -28,24 +34,38 @@ func main() {
 		semantics = flag.String("semantics", "strong", "PFS consistency model: strong|commit|session|eventual")
 		verify    = flag.Bool("verify", false, "verify read data (surfaces stale reads on weak PFSs)")
 		out       = flag.String("out", "", "output trace directory (omit for a dry run)")
+		tele      obs.CLIFlags
 	)
+	tele.Register(flag.CommandLine)
 	flag.Parse()
+	if err := tele.Start(os.Stderr); err != nil {
+		fmt.Fprintln(os.Stderr, "semtrace:", err)
+		return 2
+	}
+	defer func() {
+		if err := tele.Flush(); err != nil {
+			fmt.Fprintln(os.Stderr, "semtrace:", err)
+			if code == 0 {
+				code = 1
+			}
+		}
+	}()
 
 	if *list {
 		for _, name := range semfs.Applications() {
 			desc, _ := semfs.Describe(name)
 			fmt.Printf("%-20s %s\n", name, desc)
 		}
-		return
+		return 0
 	}
 	if *app == "" {
 		fmt.Fprintln(os.Stderr, "semtrace: -app is required (try -list)")
-		os.Exit(2)
+		return 2
 	}
 	sem, err := parseSemantics(*semantics)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "semtrace:", err)
-		os.Exit(2)
+		return 2
 	}
 	res, err := semfs.Run(*app, semfs.RunOptions{
 		Ranks: *ranks, PPN: *ppn, Seed: *seed,
@@ -54,7 +74,7 @@ func main() {
 	})
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "semtrace:", err)
-		os.Exit(1)
+		return 1
 	}
 	fmt.Printf("ran %s: %d ranks, %d trace records\n", *app, *ranks, res.Trace.NumRecords())
 	for _, e := range res.RankErrors {
@@ -63,13 +83,14 @@ func main() {
 	if *out != "" {
 		if err := semfs.SaveTrace(*out, res.Trace); err != nil {
 			fmt.Fprintln(os.Stderr, "semtrace:", err)
-			os.Exit(1)
+			return 1
 		}
 		fmt.Printf("trace written to %s\n", *out)
 	}
 	if len(res.RankErrors) > 0 {
-		os.Exit(1)
+		return 1
 	}
+	return 0
 }
 
 func parseSemantics(s string) (semfs.Semantics, error) {

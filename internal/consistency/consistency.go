@@ -81,6 +81,9 @@ func (v *Violation) String() string {
 	if v.Write != nil {
 		s += fmt.Sprintf(" vs %s #%d (rank %d [%d,+%d))",
 			v.Write.Kind, v.Write.Seq, v.Write.Rank, v.Write.Off, v.Write.Len)
+		if v.Write.Trace != 0 {
+			s += fmt.Sprintf(" trace=%#x", v.Write.Trace)
+		}
 	}
 	if v.Offset >= 0 {
 		s += fmt.Sprintf(" at byte %d", v.Offset)
@@ -125,6 +128,7 @@ func Check(model pfs.Semantics, events []pfs.HistoryEvent, opt Options) (res Res
 		} else {
 			checkRejected.Inc()
 		}
+		recordVerdictFlight(res.Events, res.OK())
 	}()
 	delay := opt.EventualDelayNS
 	if delay == 0 {
@@ -163,6 +167,7 @@ func Check(model pfs.Semantics, events []pfs.HistoryEvent, opt Options) (res Res
 			if v := c.checkRead(ev); v != nil {
 				v.Model = model
 				res.Violation = v
+				recordViolationFlight(v)
 				return res
 			}
 		}

@@ -1,0 +1,109 @@
+package consistency
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"repro/internal/obs"
+	"repro/internal/pfs"
+)
+
+// TestViolationTriggersFlightDump pins the post-mortem path end to end: with
+// the flight recorder armed, a history the strong spec rejects must leave a
+// dump file on disk whose formatted rendering names the violating read (its
+// history seq, rank and first bad offset) and the implicated write's causal
+// trace — exactly what `semrepro -flight-dump` prints.
+func TestViolationTriggersFlightDump(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "violation.flight")
+	obs.Flight().Reset()
+	obs.ArmFlightDump(path)
+	t.Cleanup(func() {
+		obs.ArmFlightDump("")
+		obs.Flight().Reset()
+	})
+
+	// Lost update under strong semantics; the superseding write carries a
+	// causal trace ID, as a WAL-drained publish would stamp it.
+	h := new(hist).
+		open(0, 1, pfs.OCreat|pfs.ORdwr, 10).
+		open(1, 2, pfs.ORdwr, 20).
+		write(0, 1, 0, "aaa", 30).
+		add(pfs.HistoryEvent{Kind: pfs.EvWrite, Rank: 0, Handle: 1, Off: 0,
+			Len: 3, Data: []byte("bbb"), Now: 40, Trace: 0xfeed}).
+		read(1, 2, 0, 3, "aaa", 50)
+
+	res := Check(pfs.Strong, h.evs, Options{})
+	if res.OK() {
+		t.Fatal("strong spec accepted the violating history")
+	}
+	if !strings.Contains(res.Violation.String(), "trace=0xfeed") {
+		t.Errorf("Violation.String() does not name the write's trace: %s", res.Violation)
+	}
+
+	if _, err := os.Stat(path); err != nil {
+		t.Fatalf("violation did not write the armed dump: %v", err)
+	}
+	d, err := obs.LoadFlightDump(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := obs.FormatFlightDump(d)
+	for _, want := range []string{
+		"consistency.violation",
+		"attribution: consistency violation",
+		"violating read seq=5",
+		"rank=1",
+		"implicated write trace=0xfeed",
+		"first differing offset=0",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("formatted dump missing %q:\n%s", want, out)
+		}
+	}
+
+	// The rejected verdict lands in the ring once Check returns (its defer
+	// runs after the dump is written, so it is absent from the file).
+	found := false
+	for _, ev := range obs.Flight().Events() {
+		if ev.Class == "consistency.verdict" && ev.B == 0 {
+			found = true
+		}
+	}
+	if !found {
+		t.Error("no rejected consistency.verdict event in the ring")
+	}
+}
+
+// TestAcceptedHistoryDoesNotDump: verdict events land in the ring, but an
+// accepted history must not write the dump file.
+func TestAcceptedHistoryDoesNotDump(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "accepted.flight")
+	obs.Flight().Reset()
+	obs.ArmFlightDump(path)
+	t.Cleanup(func() {
+		obs.ArmFlightDump("")
+		obs.Flight().Reset()
+	})
+
+	h := new(hist).
+		open(0, 1, pfs.OCreat|pfs.ORdwr, 10).
+		write(0, 1, 0, "abc", 20).
+		read(0, 1, 0, 3, "abc", 30)
+	if res := Check(pfs.Strong, h.evs, Options{}); !res.OK() {
+		t.Fatalf("conforming history rejected: %v", res.Violation)
+	}
+	if _, err := os.Stat(path); !os.IsNotExist(err) {
+		t.Errorf("accepted history wrote a dump (stat err = %v)", err)
+	}
+	found := false
+	for _, ev := range obs.Flight().Events() {
+		if ev.Class == "consistency.verdict" && ev.B == 1 {
+			found = true
+		}
+	}
+	if !found {
+		t.Error("no accepted consistency.verdict event in the ring")
+	}
+}

@@ -22,8 +22,17 @@ import (
 	"strings"
 	"sync"
 
+	"repro/internal/obs"
 	"repro/internal/pfs"
 	"repro/internal/wal"
+)
+
+// Flight-recorder event classes. Arming marks the run as a crash
+// experiment; the fired event (a = hit count) is the final entry before
+// SIGKILL and what FormatFlightDump attributes the dump to.
+var (
+	flightKillArmed = obs.FlightClassFor("kill.armed")
+	flightKillFired = obs.FlightClassFor("kill.fired")
 )
 
 // KillEnv is the environment variable ArmKillPointsFromEnv reads: a
@@ -68,6 +77,7 @@ func ArmKillPoints(spec string) error {
 			return fmt.Errorf("faults: kill spec %q: N must be a positive integer", part)
 		}
 		kill.armed[point] = n
+		obs.Flight().Record(flightKillArmed, -1, 0, int64(n), 0)
 		if strings.HasPrefix(point, "pfs.op.") {
 			hookPFS = true
 		}
@@ -101,8 +111,14 @@ func Hit(point string) {
 	}
 	kill.hits[point]++
 	fatal := kill.armed[point] > 0 && kill.hits[point] == kill.armed[point]
+	hits := kill.hits[point]
 	kill.mu.Unlock()
 	if fatal {
+		// Last acts before SIGKILL: put the fatal hit in the flight ring and
+		// write the armed dump — the CRC framing tolerates dying mid-write,
+		// and the fsync in WriteDump makes a completed dump survive the kill.
+		obs.Flight().Record(flightKillFired, -1, 0, int64(hits), 0)
+		obs.TriggerFlightDump("kill." + point)
 		killProcess()
 	}
 }

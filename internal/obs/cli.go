@@ -9,22 +9,32 @@ import (
 	"net/http"
 	"net/http/pprof"
 	"os"
+	"time"
 )
 
-// CLI plumbing shared by cmd/semanalyze, cmd/semrepro and cmd/pfsbench:
-// the -metrics / -trace-spans / -pprof flags all funnel through here so the
-// three binaries expose telemetry identically.
+// CLI plumbing shared by cmd/semanalyze, cmd/semrepro, cmd/pfsbench and
+// cmd/semtrace: the -metrics / -trace-spans / -pprof / -serve-metrics /
+// -flight flags all funnel through here so the binaries expose telemetry
+// identically.
 
 // CLIFlags bundles the telemetry flags of the repo's binaries. Call
 // Register before flag.Parse, Start right after it, and Flush (usually
 // deferred) once the run finishes.
 type CLIFlags struct {
-	Metrics    string
-	TraceSpans string
-	Pprof      string
+	Metrics          string
+	TraceSpans       string
+	Pprof            string
+	ServeMetrics     string
+	ServeMetricsHold time.Duration
+	Flight           string
+
+	boundPprof   string
+	boundMetrics string
+	stopPprof    func()
+	stopMetrics  func()
 }
 
-// Register installs the three flags on fs.
+// Register installs the telemetry flags on fs.
 func (f *CLIFlags) Register(fs *flag.FlagSet) {
 	fs.StringVar(&f.Metrics, "metrics", "",
 		`write a JSON metrics snapshot to this file on exit ("-" for stdout)`)
@@ -32,30 +42,82 @@ func (f *CLIFlags) Register(fs *flag.FlagSet) {
 		"write spans to this file on exit as Chrome trace_event JSON (open in chrome://tracing or Perfetto)")
 	fs.StringVar(&f.Pprof, "pprof", "",
 		`serve net/http/pprof on this address (e.g. "localhost:6060" or ":0")`)
+	fs.StringVar(&f.ServeMetrics, "serve-metrics", "",
+		`serve live /metrics, /metrics.json and /healthz on this address (e.g. ":9090" or ":0")`)
+	fs.DurationVar(&f.ServeMetricsHold, "serve-metrics-hold", 0,
+		"keep the -serve-metrics exporter up this long after the run finishes (scrape window for CI)")
+	fs.StringVar(&f.Flight, "flight", "",
+		"arm the flight recorder: dump recent semantic events to this file on panic, kill points and consistency violations")
 }
+
+// ServeMetricsHook starts the live metrics exporter; internal/obs/live
+// installs it at init time (obs cannot import live — live imports obs).
+// Binaries that want -serve-metrics blank-import repro/internal/obs/live.
+var ServeMetricsHook func(addr string) (bound string, stop func(), err error)
 
 // Start applies the parsed flags: resets the default registry so the
 // snapshot covers exactly this invocation, enables span collection when
-// -trace-spans was given, and starts the pprof listener when -pprof was,
-// logging its URL to w.
+// -trace-spans was given, arms the flight recorder when -flight was, and
+// starts the pprof / live-metrics listeners, logging one
+// "obs: <what> listening on <url>" line per listener to w with the *bound*
+// address (so ":0" reports the port that was actually assigned).
 func (f *CLIFlags) Start(w io.Writer) error {
-	if f.Metrics != "" {
+	if f.Metrics != "" || f.ServeMetrics != "" {
 		Default().Reset()
 	}
-	if f.TraceSpans != "" {
+	if f.TraceSpans != "" || f.ServeMetrics != "" {
 		Default().Tracer().SetEnabled(true)
 	}
+	if f.Flight != "" {
+		ArmFlightDump(f.Flight)
+	}
 	if f.Pprof != "" {
-		addr, err := StartPprof(f.Pprof)
+		addr, stop, err := StartPprof(f.Pprof)
 		if err != nil {
 			return err
 		}
-		fmt.Fprintf(w, "pprof: http://%s/debug/pprof/\n", addr)
+		f.boundPprof, f.stopPprof = addr, stop
+		fmt.Fprintf(w, "obs: pprof listening on http://%s/debug/pprof/\n", displayAddr(addr))
+	}
+	if f.ServeMetrics != "" {
+		if ServeMetricsHook == nil {
+			return errors.New(`obs: -serve-metrics requires the live exporter (import _ "repro/internal/obs/live")`)
+		}
+		addr, stop, err := ServeMetricsHook(f.ServeMetrics)
+		if err != nil {
+			return err
+		}
+		f.boundMetrics, f.stopMetrics = addr, stop
+		fmt.Fprintf(w, "obs: metrics listening on http://%s/metrics\n", displayAddr(addr))
 	}
 	return nil
 }
 
-// Flush writes the requested telemetry files.
+// PprofAddr returns the bound -pprof address ("" when not serving).
+func (f *CLIFlags) PprofAddr() string { return f.boundPprof }
+
+// MetricsAddr returns the bound -serve-metrics address ("" when not
+// serving).
+func (f *CLIFlags) MetricsAddr() string { return f.boundMetrics }
+
+// displayAddr rewrites a bound listen address into one a human can curl:
+// the unspecified hosts a ":0"-style flag binds ("0.0.0.0", "::", "") are
+// reachable via loopback, so report that.
+func displayAddr(bound string) string {
+	host, port, err := net.SplitHostPort(bound)
+	if err != nil {
+		return bound
+	}
+	if host == "" || host == "0.0.0.0" || host == "::" {
+		return net.JoinHostPort("127.0.0.1", port)
+	}
+	return bound
+}
+
+// Flush writes the requested telemetry files and stops the listeners Start
+// opened. When -serve-metrics-hold is set the exporter stays up that long
+// first — the scrape window a CI job needs between "run finished" and
+// "metrics gone".
 func (f *CLIFlags) Flush() error {
 	var errs []error
 	if f.Metrics != "" {
@@ -63,6 +125,17 @@ func (f *CLIFlags) Flush() error {
 	}
 	if f.TraceSpans != "" {
 		errs = append(errs, WriteSpansFile(f.TraceSpans))
+	}
+	if f.stopMetrics != nil {
+		if f.ServeMetricsHold > 0 {
+			time.Sleep(f.ServeMetricsHold)
+		}
+		f.stopMetrics()
+		f.stopMetrics = nil
+	}
+	if f.stopPprof != nil {
+		f.stopPprof()
+		f.stopPprof = nil
 	}
 	return errors.Join(errs...)
 }
@@ -98,13 +171,13 @@ func WriteSpansFile(path string) error {
 }
 
 // StartPprof serves net/http/pprof on addr (e.g. "localhost:6060") in a
-// background goroutine and returns the bound address, so callers can pass
-// ":0" and print where the profiler actually landed. The listener lives for
-// the remainder of the process.
-func StartPprof(addr string) (string, error) {
+// background goroutine and returns the bound address — so callers can pass
+// ":0" and print where the profiler actually landed — plus a stop function
+// that closes the listener (idempotent).
+func StartPprof(addr string) (string, func(), error) {
 	ln, err := net.Listen("tcp", addr)
 	if err != nil {
-		return "", fmt.Errorf("obs: pprof listen: %w", err)
+		return "", nil, fmt.Errorf("obs: pprof listen: %w", err)
 	}
 	mux := http.NewServeMux()
 	mux.HandleFunc("/debug/pprof/", pprof.Index)
@@ -113,9 +186,9 @@ func StartPprof(addr string) (string, error) {
 	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
 	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
 	go func() {
-		// The listener is closed only by process exit; Serve's error is
-		// uninteresting by then.
+		// Serve returns with a "use of closed network listener" error once
+		// stop closes ln; that is the expected shutdown path.
 		_ = http.Serve(ln, mux)
 	}()
-	return ln.Addr().String(), nil
+	return ln.Addr().String(), func() { _ = ln.Close() }, nil
 }

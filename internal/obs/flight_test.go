@@ -1,0 +1,258 @@
+package obs
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"sync"
+	"testing"
+)
+
+// TestFlightRingWrap: a full ring overwrites oldest-first and Events returns
+// the surviving window sorted by sequence.
+func TestFlightRingWrap(t *testing.T) {
+	f := NewFlightRecorder(8)
+	f.SetEnabled(true)
+	class := FlightClassFor("test.wrap")
+	for i := 1; i <= 20; i++ {
+		f.Record(class, int32(i), uint64(i), int64(i), int64(-i))
+	}
+	evs := f.Events()
+	if len(evs) != 8 {
+		t.Fatalf("ring of 8 holds %d events", len(evs))
+	}
+	for i, ev := range evs {
+		want := uint64(13 + i) // 20 records, last 8 survive
+		if ev.Seq != want {
+			t.Errorf("event %d: seq = %d, want %d", i, ev.Seq, want)
+		}
+		if ev.Class != "test.wrap" || ev.Rank != int32(ev.Seq) ||
+			ev.Trace != ev.Seq || ev.A != int64(ev.Seq) || ev.B != -int64(ev.Seq) {
+			t.Errorf("event %d: payload mismatch: %+v", i, ev)
+		}
+	}
+}
+
+// TestFlightSizeRounding pins the power-of-two capacity rounding.
+func TestFlightSizeRounding(t *testing.T) {
+	for _, c := range []struct{ ask, want int }{{0, 8}, {8, 8}, {9, 16}, {100, 128}} {
+		f := NewFlightRecorder(c.ask)
+		if got := len(f.slots); got != c.want {
+			t.Errorf("NewFlightRecorder(%d): capacity %d, want %d", c.ask, got, c.want)
+		}
+	}
+}
+
+// TestFlightConcurrentRecord hammers Record from many goroutines while a
+// reader snapshots, under -race: every returned event must be individually
+// consistent (A encodes rank and iteration; B repeats the iteration, so a
+// torn slot mixing two writers fails the invariant).
+func TestFlightConcurrentRecord(t *testing.T) {
+	f := NewFlightRecorder(64)
+	f.SetEnabled(true)
+	class := FlightClassFor("test.concurrent")
+	const goroutines, iters = 8, 500
+
+	var writers sync.WaitGroup
+	for w := 0; w < goroutines; w++ {
+		writers.Add(1)
+		go func(w int) {
+			defer writers.Done()
+			for i := 0; i < iters; i++ {
+				f.Record(class, int32(w), 0, int64(w)*1000+int64(i), int64(i))
+			}
+		}(w)
+	}
+	stop := make(chan struct{})
+	var reader sync.WaitGroup
+	reader.Add(1)
+	go func() {
+		defer reader.Done()
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			for _, ev := range f.Events() {
+				if ev.A != int64(ev.Rank)*1000+ev.B {
+					t.Errorf("torn event escaped: %+v", ev)
+					return
+				}
+			}
+		}
+	}()
+	writers.Wait()
+	close(stop)
+	reader.Wait()
+
+	evs := f.Events()
+	if len(evs) != 64 {
+		t.Fatalf("full ring returned %d events, want 64", len(evs))
+	}
+	for i := 1; i < len(evs); i++ {
+		if evs[i].Seq != evs[i-1].Seq+1 {
+			t.Fatalf("quiescent ring has a sequence gap: %d -> %d", evs[i-1].Seq, evs[i].Seq)
+		}
+	}
+}
+
+// TestFlightDumpRoundTrip: encode -> write -> load preserves every event,
+// including class names, ranks, traces and payloads.
+func TestFlightDumpRoundTrip(t *testing.T) {
+	f := NewFlightRecorder(16)
+	f.SetEnabled(true)
+	a := FlightClassFor("test.roundtrip.a")
+	b := FlightClassFor("test.roundtrip.b")
+	f.Record(a, 3, 0xdeadbeef, 4096, 128)
+	f.Record(b, -1, 0, -7, 9)
+	path := filepath.Join(t.TempDir(), "flight.bin")
+	if err := f.WriteDump(path); err != nil {
+		t.Fatal(err)
+	}
+	d, err := LoadFlightDump(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.TornBytes != 0 {
+		t.Errorf("clean dump reports %d torn bytes", d.TornBytes)
+	}
+	if len(d.Events) != 2 {
+		t.Fatalf("loaded %d events, want 2", len(d.Events))
+	}
+	ev := d.Events[0]
+	if ev.Class != "test.roundtrip.a" || ev.Rank != 3 || ev.Trace != 0xdeadbeef ||
+		ev.A != 4096 || ev.B != 128 {
+		t.Errorf("event 0 mismatch: %+v", ev)
+	}
+	ev = d.Events[1]
+	if ev.Class != "test.roundtrip.b" || ev.Rank != -1 || ev.A != -7 || ev.B != 9 {
+		t.Errorf("event 1 mismatch: %+v", ev)
+	}
+}
+
+// TestFlightDumpTornTail: a dump truncated mid-frame (the writer died) still
+// yields every complete frame, with the torn remainder counted, and a
+// corrupted frame truncates the same way.
+func TestFlightDumpTornTail(t *testing.T) {
+	f := NewFlightRecorder(16)
+	f.SetEnabled(true)
+	class := FlightClassFor("test.torn")
+	for i := 0; i < 4; i++ {
+		f.Record(class, 0, 0, int64(i), 0)
+	}
+	full := f.EncodeFlightDump()
+	path := filepath.Join(t.TempDir(), "torn.bin")
+
+	// Truncate inside the final frame.
+	if err := os.WriteFile(path, full[:len(full)-10], 0o644); err != nil {
+		t.Fatal(err)
+	}
+	d, err := LoadFlightDump(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(d.Events) != 3 {
+		t.Errorf("torn dump salvaged %d events, want 3", len(d.Events))
+	}
+	if d.TornBytes == 0 {
+		t.Error("torn dump reports no torn bytes")
+	}
+
+	// Flip a payload byte in the last frame: CRC must reject it.
+	corrupt := append([]byte(nil), full...)
+	corrupt[len(corrupt)-5] ^= 0xff
+	if err := os.WriteFile(path, corrupt, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	d, err = LoadFlightDump(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(d.Events) != 3 {
+		t.Errorf("corrupt-tail dump salvaged %d events, want 3", len(d.Events))
+	}
+	if d.TornBytes == 0 {
+		t.Error("corrupt-tail dump reports no torn bytes")
+	}
+
+	// A foreign file is an error, not an empty dump.
+	if err := os.WriteFile(path, []byte("not a dump"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := LoadFlightDump(path); err == nil {
+		t.Error("foreign file loaded without error")
+	}
+}
+
+// TestFormatFlightDumpAttribution: the post-mortem rendering names the
+// violating op of a consistency violation and the dump trigger.
+func TestFormatFlightDumpAttribution(t *testing.T) {
+	d := &FlightDump{Events: []FlightEvent{
+		{Seq: 1, Class: "pfs.write.begin", Rank: 2, A: 0, B: 64},
+		{Seq: 2, Class: "consistency.violation", Rank: 5, Trace: 0xabc, A: 41, B: 512},
+		{Seq: 3, Class: "flight.trigger", Rank: -1},
+	}}
+	out := FormatFlightDump(d)
+	for _, want := range []string{
+		"3 event(s)",
+		"consistency violation",
+		"violating read seq=41",
+		"rank=5",
+		"trace=0xabc",
+		"offset=512",
+		"dump trigger = flight.trigger",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("formatted dump missing %q:\n%s", want, out)
+		}
+	}
+}
+
+// TestArmAndTriggerFlightDump: arming enables the process-wide recorder and
+// pins the dump path; TriggerFlightDump writes a loadable dump containing
+// the trigger event; disarming stops recording.
+func TestArmAndTriggerFlightDump(t *testing.T) {
+	Flight().Reset()
+	t.Cleanup(func() {
+		ArmFlightDump("")
+		Flight().Reset()
+	})
+	path := filepath.Join(t.TempDir(), "armed.bin")
+	ArmFlightDump(path)
+	if !Flight().Enabled() {
+		t.Fatal("ArmFlightDump did not enable the recorder")
+	}
+	if got := FlightDumpPath(); got != path {
+		t.Fatalf("FlightDumpPath = %q, want %q", got, path)
+	}
+	Flight().Record(FlightClassFor("test.armed"), 1, 0, 10, 20)
+	wrote, err := TriggerFlightDump("Unit Test!")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if wrote != path {
+		t.Fatalf("TriggerFlightDump wrote to %q, want %q", wrote, path)
+	}
+	d, err := LoadFlightDump(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	classes := map[string]bool{}
+	for _, ev := range d.Events {
+		classes[ev.Class] = true
+	}
+	for _, want := range []string{"test.armed", "flight.reason.unit-test", "flight.trigger"} {
+		if !classes[want] {
+			t.Errorf("dump missing class %q (have %v)", want, classes)
+		}
+	}
+
+	ArmFlightDump("")
+	if Flight().Enabled() {
+		t.Error("disarming left the recorder enabled")
+	}
+	if p, err := TriggerFlightDump("noop"); p != "" || err != nil {
+		t.Errorf("disarmed trigger = (%q, %v), want no-op", p, err)
+	}
+}

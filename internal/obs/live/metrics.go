@@ -1,0 +1,12 @@
+package live
+
+import "repro/internal/obs"
+
+// Exporter telemetry, on the default registry like every other layer's
+// (DESIGN.md §9 naming: obs.live.*). The exporter observing itself is the
+// point: a dashboard can tell a dead run from a dead scraper.
+var (
+	liveScrapes     = obs.Default().Counter("obs.live.scrapes")
+	liveScrapesJSON = obs.Default().Counter("obs.live.scrapes.json")
+	liveGeneration  = obs.Default().Gauge("obs.live.generation")
+)

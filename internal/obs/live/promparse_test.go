@@ -1,0 +1,175 @@
+package live
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/obs"
+)
+
+// TestMangleName pins the obs-name -> Prometheus-name mapping.
+func TestMangleName(t *testing.T) {
+	cases := []struct{ in, want string }{
+		{"pfs.visibility_lag.strong", "pfs_visibility_lag_strong"},
+		{"wal.ack-ns", "wal_ack_ns"},
+		{"plain", "plain"},
+		{"9lives", "_9lives"},
+	}
+	for _, c := range cases {
+		if got := MangleName(c.in); got != c.want {
+			t.Errorf("MangleName(%q) = %q, want %q", c.in, got, c.want)
+		}
+	}
+}
+
+// TestParseAcceptsWellFormed: the strict parser accepts a representative
+// exposition — counters, gauges, a labeled histogram, escaped label values,
+// timestamps, and plain comments — and reads the values back.
+func TestParseAcceptsWellFormed(t *testing.T) {
+	text := strings.Join([]string{
+		`# generation 7`,
+		`# HELP ops_total obs instrument ops.total`,
+		`# TYPE ops_total counter`,
+		`ops_total 42`,
+		`# TYPE depth gauge`,
+		`depth -3 1700000000000`,
+		`# TYPE lag_ns histogram`,
+		`lag_ns_bucket{le="0"} 1`,
+		`lag_ns_bucket{le="1023"} 4`,
+		`lag_ns_bucket{le="+Inf"} 5`,
+		`lag_ns_sum 2000`,
+		`lag_ns_count 5`,
+		`# TYPE weird gauge`,
+		`weird{path="a\"b\\c\nd",rank="3"} 1.5`,
+		``,
+	}, "\n")
+	m, err := ParsePromText(text)
+	if err != nil {
+		t.Fatalf("well-formed exposition rejected: %v", err)
+	}
+	if v, ok := m.Value("ops_total"); !ok || v != 42 {
+		t.Errorf("ops_total = (%g, %v), want (42, true)", v, ok)
+	}
+	if v, ok := m.Value("depth"); !ok || v != -3 {
+		t.Errorf("depth = (%g, %v), want (-3, true)", v, ok)
+	}
+	if f := m["lag_ns"]; f == nil || len(f.Samples) != 5 {
+		t.Errorf("lag_ns family missing or wrong arity: %+v", f)
+	}
+	if f := m["ops_total"]; f.Help != "obs instrument ops.total" {
+		t.Errorf("HELP text = %q", f.Help)
+	}
+	want := map[string]string{"path": "a\"b\\c\nd", "rank": "3"}
+	got := m["weird"].Samples[0].Labels
+	for k, v := range want {
+		if got[k] != v {
+			t.Errorf("label %s = %q, want %q", k, got[k], v)
+		}
+	}
+}
+
+// TestParseRejectsMalformed: every violation class the parser claims to
+// catch is actually rejected.
+func TestParseRejectsMalformed(t *testing.T) {
+	cases := []struct{ name, text string }{
+		{"sample before TYPE", "orphan 1\n"},
+		{"HELP without TYPE", "# HELP lonely x\nlonely 1\n"},
+		{"declared without samples", "# TYPE empty counter\n"},
+		{"duplicate TYPE", "# TYPE a counter\n# TYPE a counter\na 1\n"},
+		{"duplicate HELP", "# HELP a x\n# HELP a y\n# TYPE a counter\na 1\n"},
+		{"TYPE after samples", "# TYPE a counter\na 1\n# TYPE a gauge\n"},
+		{"unknown type", "# TYPE a widget\na 1\n"},
+		{"duplicate sample", "# TYPE a counter\na 1\na 2\n"},
+		{"bad metric name", "# TYPE 1bad counter\n1bad 1\n"},
+		{"bad sample value", "# TYPE a counter\na pancake\n"},
+		{"bad timestamp", "# TYPE a counter\na 1 soon\n"},
+		{"no value", "# TYPE a counter\na\n"},
+		{"bad label name", `# TYPE a counter` + "\n" + `a{1x="v"} 1` + "\n"},
+		{"unquoted label value", `# TYPE a counter` + "\n" + `a{x=v} 1` + "\n"},
+		{"bad escape", `# TYPE a counter` + "\n" + `a{x="\t"} 1` + "\n"},
+		{"unterminated label value", `# TYPE a counter` + "\n" + `a{x="v} 1` + "\n"},
+		{"duplicate label", `# TYPE a counter` + "\n" + `a{x="1",x="2"} 1` + "\n"},
+		{"histogram bucket without le", "# TYPE h histogram\nh_bucket 1\nh_sum 0\nh_count 1\n"},
+		{"histogram missing +Inf", `# TYPE h histogram` + "\n" + `h_bucket{le="10"} 1` + "\n" + `h_sum 0` + "\n" + `h_count 1` + "\n"},
+		{"histogram missing sum", `# TYPE h histogram` + "\n" + `h_bucket{le="+Inf"} 1` + "\n" + `h_count 1` + "\n"},
+		{"histogram cumulative decreases", `# TYPE h histogram` + "\n" +
+			`h_bucket{le="1"} 5` + "\n" + `h_bucket{le="2"} 3` + "\n" +
+			`h_bucket{le="+Inf"} 5` + "\n" + `h_sum 0` + "\n" + `h_count 5` + "\n"},
+		{"histogram +Inf != count", `# TYPE h histogram` + "\n" +
+			`h_bucket{le="+Inf"} 5` + "\n" + `h_sum 0` + "\n" + `h_count 4` + "\n"},
+	}
+	for _, c := range cases {
+		if _, err := ParsePromText(c.text); err == nil {
+			t.Errorf("%s: accepted:\n%s", c.name, c.text)
+		}
+	}
+}
+
+// TestPromTextRoundTrip: the exposition PromText renders from a real
+// registry snapshot passes the strict parser, declares the right types, and
+// carries the right values — including cumulative histogram buckets.
+func TestPromTextRoundTrip(t *testing.T) {
+	r := obs.NewRegistry()
+	r.Counter("ops.total").Add(7)
+	r.Gauge("queue.depth").Set(-2)
+	h := r.Histogram("lag.ns")
+	h.Observe(0)
+	h.Observe(5)
+	h.Observe(5000)
+
+	text := PromText(r.Snapshot(), 3)
+	if !strings.HasPrefix(text, "# generation 3\n") {
+		t.Errorf("missing generation comment:\n%s", text)
+	}
+	m, err := ParsePromText(text)
+	if err != nil {
+		t.Fatalf("PromText output rejected by strict parser: %v\n%s", err, text)
+	}
+	if v, ok := m.Value("ops_total"); !ok || v != 7 {
+		t.Errorf("ops_total = (%g, %v), want (7, true)", v, ok)
+	}
+	if m["ops_total"].Type != "counter" {
+		t.Errorf("ops_total type = %q", m["ops_total"].Type)
+	}
+	if v, ok := m.Value("queue_depth"); !ok || v != -2 {
+		t.Errorf("queue_depth = (%g, %v), want (-2, true)", v, ok)
+	}
+	if m["queue_depth"].Type != "gauge" {
+		t.Errorf("queue_depth type = %q", m["queue_depth"].Type)
+	}
+	fam := m["lag_ns"]
+	if fam == nil || fam.Type != "histogram" {
+		t.Fatalf("lag_ns family missing or not a histogram: %+v", fam)
+	}
+	var inf, count, sum float64
+	zero := -1.0
+	for _, s := range fam.Samples {
+		switch s.Name {
+		case "lag_ns_bucket":
+			switch s.Labels["le"] {
+			case "+Inf":
+				inf = s.Value
+			case "0":
+				zero = s.Value
+			}
+		case "lag_ns_count":
+			count = s.Value
+		case "lag_ns_sum":
+			sum = s.Value
+		}
+	}
+	if inf != 3 || count != 3 {
+		t.Errorf("+Inf = %g, _count = %g, want 3", inf, count)
+	}
+	if zero != 1 {
+		t.Errorf("le=\"0\" bucket = %g, want 1 (the Observe(0))", zero)
+	}
+	if sum != 5005 {
+		t.Errorf("_sum = %g, want 5005", sum)
+	}
+
+	// Determinism: same snapshot renders byte-identically.
+	if again := PromText(r.Snapshot(), 3); again != text {
+		t.Error("PromText is not deterministic for an unchanged registry")
+	}
+}

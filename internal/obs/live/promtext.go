@@ -1,0 +1,108 @@
+// Package live is the HTTP exposition layer over internal/obs: the
+// Prometheus text-format /metrics endpoint, the generation-keyed
+// /metrics.json snapshots, and /healthz, started via the shared
+// -serve-metrics flag (obs.ServeMetricsHook, installed by this package's
+// init). It is the live telemetry plane the ROADMAP's semfsd streaming
+// service stands on: everything the exit-time -metrics snapshot reports —
+// visibility lag, WAL drain depth, conflict verdicts — scrapeable while
+// the run is still in flight.
+//
+// live imports obs, never the reverse; binaries opt in with a blank
+// import, so obs itself stays dependency-free for the hot paths.
+package live
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"repro/internal/obs"
+)
+
+// MangleName rewrites a dotted obs instrument name ("pfs.visibility_lag.strong")
+// into a valid Prometheus metric name ("pfs_visibility_lag_strong"): every
+// character outside [a-zA-Z0-9_] becomes '_', and a leading digit gets a
+// '_' prefix.
+func MangleName(name string) string {
+	var b strings.Builder
+	b.Grow(len(name) + 1)
+	for i, r := range name {
+		ok := r == '_' || (r >= 'a' && r <= 'z') || (r >= 'A' && r <= 'Z') || (r >= '0' && r <= '9')
+		if !ok {
+			r = '_'
+		}
+		if i == 0 && r >= '0' && r <= '9' {
+			b.WriteByte('_')
+		}
+		b.WriteRune(r)
+	}
+	return b.String()
+}
+
+// PromText renders a snapshot in the Prometheus text exposition format
+// (version 0.0.4): per family a # HELP line carrying the original dotted
+// obs name, a # TYPE line, then the samples. Counters and gauges are one
+// sample each; histograms expand to cumulative _bucket{le="..."} samples
+// (le is the largest integer the power-of-two bucket can hold, le="0" the
+// dedicated zero bucket, le="+Inf" the total), plus _sum and _count.
+// Families are sorted by metric name, so the rendering is a deterministic
+// function of the snapshot. generation, when nonzero, is emitted as a
+// leading "# generation N" comment — comments other than HELP/TYPE are
+// ignored by conforming parsers but let a scraper pair this text with the
+// /metrics.json snapshot of the same generation.
+func PromText(s obs.Snapshot, generation uint64) string {
+	var b strings.Builder
+	if generation != 0 {
+		fmt.Fprintf(&b, "# generation %d\n", generation)
+	}
+	type family struct {
+		prom, orig, typ string
+		render          func()
+	}
+	var fams []family
+	for name, v := range s.Counters {
+		v := v
+		prom := MangleName(name)
+		fams = append(fams, family{prom, name, "counter", func() {
+			fmt.Fprintf(&b, "%s %d\n", prom, v)
+		}})
+	}
+	for name, v := range s.Gauges {
+		v := v
+		prom := MangleName(name)
+		fams = append(fams, family{prom, name, "gauge", func() {
+			fmt.Fprintf(&b, "%s %d\n", prom, v)
+		}})
+	}
+	for name, h := range s.Histograms {
+		h := h
+		prom := MangleName(name)
+		fams = append(fams, family{prom, name, "histogram", func() {
+			cum := h.Zero
+			if h.Zero > 0 || len(h.Buckets) > 0 {
+				fmt.Fprintf(&b, "%s_bucket{le=\"0\"} %d\n", prom, cum)
+			}
+			for _, bk := range h.Buckets {
+				cum += bk.N
+				fmt.Fprintf(&b, "%s_bucket{le=\"%d\"} %d\n", prom, bk.Hi-1, cum)
+			}
+			// A snapshot racing an Observe can see a bucket increment whose
+			// count increment it missed; clamp the total up so the cumulative
+			// series stays monotone (what the strict parser checks).
+			total := h.Count
+			if cum > total {
+				total = cum
+			}
+			fmt.Fprintf(&b, "%s_bucket{le=\"+Inf\"} %d\n", prom, total)
+			fmt.Fprintf(&b, "%s_sum %d\n", prom, h.Sum)
+			fmt.Fprintf(&b, "%s_count %d\n", prom, total)
+		}})
+	}
+	sort.Slice(fams, func(i, j int) bool { return fams[i].prom < fams[j].prom })
+	for _, f := range fams {
+		fmt.Fprintf(&b, "# HELP %s obs instrument %s\n", f.prom, f.orig)
+		fmt.Fprintf(&b, "# TYPE %s %s\n", f.prom, f.typ)
+		f.render()
+	}
+	return b.String()
+}

@@ -1,0 +1,166 @@
+package live
+
+import (
+	"encoding/json"
+	"fmt"
+	"net"
+	"net/http"
+	"strconv"
+	"sync"
+
+	"repro/internal/obs"
+)
+
+func init() {
+	// obs cannot import live (live imports obs), so the -serve-metrics flag
+	// reaches this package through a hook. Linking live in — the blank
+	// import in each binary — is what makes the flag work.
+	obs.ServeMetricsHook = func(addr string) (string, func(), error) {
+		s, err := StartServer(obs.Default(), addr)
+		if err != nil {
+			return "", nil, err
+		}
+		return s.Addr(), s.Stop, nil
+	}
+}
+
+// retainLimit is how many recent generations a server keeps for
+// /metrics.json?gen= and ?since= lookups. Small on purpose: a scraper
+// pairing text with JSON asks about the generation it just saw, not
+// ancient history.
+const retainLimit = 8
+
+type genSnapshot struct {
+	gen  uint64
+	snap obs.Snapshot
+}
+
+// Server is the live exposition endpoint over one registry. Every scrape
+// of /metrics or bare /metrics.json takes a fresh snapshot and assigns it
+// the next generation; the last retainLimit generations stay addressable,
+// so the text and JSON views of one generation are renderings of the same
+// frozen snapshot and agree exactly.
+type Server struct {
+	reg *obs.Registry
+	ln  net.Listener
+	srv *http.Server
+
+	mu       sync.Mutex
+	gen      uint64
+	retained []genSnapshot
+}
+
+// StartServer binds addr (":0" picks a free port) and serves /metrics,
+// /metrics.json and /healthz for reg in a background goroutine until Stop.
+func StartServer(reg *obs.Registry, addr string) (*Server, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("live: metrics listen: %w", err)
+	}
+	s := &Server{reg: reg, ln: ln}
+	mux := http.NewServeMux()
+	mux.HandleFunc("/metrics", s.handleMetrics)
+	mux.HandleFunc("/metrics.json", s.handleMetricsJSON)
+	mux.HandleFunc("/healthz", s.handleHealthz)
+	s.srv = &http.Server{Handler: mux}
+	go func() {
+		// Serve returns ErrServerClosed once Stop runs; nothing to report.
+		_ = s.srv.Serve(ln)
+	}()
+	return s, nil
+}
+
+// Addr returns the bound listen address.
+func (s *Server) Addr() string { return s.ln.Addr().String() }
+
+// Stop closes the listener and every open connection. Idempotent.
+func (s *Server) Stop() { _ = s.srv.Close() }
+
+// take snapshots the registry under the next generation and retains it.
+func (s *Server) take() genSnapshot {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.gen++
+	g := genSnapshot{gen: s.gen, snap: s.reg.Snapshot()}
+	s.retained = append(s.retained, g)
+	if len(s.retained) > retainLimit {
+		s.retained = s.retained[len(s.retained)-retainLimit:]
+	}
+	liveGeneration.Set(int64(s.gen))
+	return g
+}
+
+// lookup returns the retained snapshot of generation gen, if not evicted.
+func (s *Server) lookup(gen uint64) (genSnapshot, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for _, g := range s.retained {
+		if g.gen == gen {
+			return g, true
+		}
+	}
+	return genSnapshot{}, false
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	fmt.Fprintln(w, "ok")
+}
+
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	liveScrapes.Inc()
+	g := s.take()
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	fmt.Fprint(w, PromText(g.snap, g.gen))
+}
+
+// metricsJSON is the /metrics.json response shape. Snapshot is set for
+// full snapshots, Delta for ?since= requests (counters and histograms are
+// the change since the named generation; gauges are current values).
+type metricsJSON struct {
+	Generation uint64        `json:"generation"`
+	Since      uint64        `json:"since,omitempty"`
+	Snapshot   *obs.Snapshot `json:"snapshot,omitempty"`
+	Delta      *obs.Snapshot `json:"delta,omitempty"`
+}
+
+func (s *Server) handleMetricsJSON(w http.ResponseWriter, r *http.Request) {
+	liveScrapesJSON.Inc()
+	q := r.URL.Query()
+	var resp metricsJSON
+	switch {
+	case q.Get("gen") != "":
+		gen, err := strconv.ParseUint(q.Get("gen"), 10, 64)
+		if err != nil {
+			http.Error(w, "bad gen parameter", http.StatusBadRequest)
+			return
+		}
+		g, ok := s.lookup(gen)
+		if !ok {
+			http.Error(w, fmt.Sprintf("generation %d not retained (last %d kept)", gen, retainLimit), http.StatusGone)
+			return
+		}
+		resp = metricsJSON{Generation: g.gen, Snapshot: &g.snap}
+	case q.Get("since") != "":
+		since, err := strconv.ParseUint(q.Get("since"), 10, 64)
+		if err != nil {
+			http.Error(w, "bad since parameter", http.StatusBadRequest)
+			return
+		}
+		base, ok := s.lookup(since)
+		if !ok {
+			http.Error(w, fmt.Sprintf("generation %d not retained (last %d kept)", since, retainLimit), http.StatusGone)
+			return
+		}
+		g := s.take()
+		delta := base.snap.Diff(g.snap)
+		resp = metricsJSON{Generation: g.gen, Since: since, Delta: &delta}
+	default:
+		g := s.take()
+		resp = metricsJSON{Generation: g.gen, Snapshot: &g.snap}
+	}
+	w.Header().Set("Content-Type", "application/json; charset=utf-8")
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	_ = enc.Encode(resp)
+}

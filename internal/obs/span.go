@@ -11,13 +11,16 @@ import (
 )
 
 // Tracer collects lightweight spans: named intervals with start/end
-// timestamps, parent links and a lane (thread id in the Chrome trace
-// model). It is disabled by default — Start returns nil and every Span
+// timestamps, parent links, a lane (thread id in the Chrome trace model)
+// and an optional trace ID that chains causally-related spans across
+// goroutines. It is disabled by default — Start returns nil and every Span
 // method is nil-safe, so instrumentation sites pay one atomic load when
 // tracing is off. Enable it with SetEnabled (the CLIs do on -trace-spans).
 //
 // Ended spans export as Chrome trace_event "complete" events
-// (ChromeTraceJSON), loadable in chrome://tracing and Perfetto.
+// (ChromeTraceJSON), loadable in chrome://tracing and Perfetto; spans
+// sharing a trace ID carry it in their args, so the ack→drain→publish
+// chain of one WAL-routed write filters to a single causal thread.
 type Tracer struct {
 	enabled atomic.Bool
 	nextID  atomic.Uint64
@@ -29,6 +32,7 @@ type Tracer struct {
 
 type spanRecord struct {
 	id, parent uint64
+	trace      uint64 // 0 = not part of a causal chain
 	name, cat  string
 	lane       int
 	startNS    int64 // relative to epoch
@@ -52,6 +56,7 @@ func (t *Tracer) Enabled() bool { return t.enabled.Load() }
 type Span struct {
 	t          *Tracer
 	id, parent uint64
+	trace      uint64
 	name, cat  string
 	lane       int
 	startNS    int64
@@ -72,7 +77,58 @@ func (t *Tracer) Start(name, cat string) *Span {
 	}
 }
 
-// Child opens a sub-span of s, inheriting its category and lane. Nil-safe.
+// StartTrace opens a root span that also begins a causal trace: the span's
+// own id becomes the trace ID that children and cross-goroutine linked
+// spans (StartLinked) inherit. Returns nil when the tracer is disabled.
+func (t *Tracer) StartTrace(name, cat string) *Span {
+	s := t.Start(name, cat)
+	if s != nil {
+		s.trace = s.id
+	}
+	return s
+}
+
+// StartLinked opens a span belonging to an existing causal trace, parented
+// to the given span id — the cross-goroutine continuation a channel or
+// queue hand-off needs (the WAL drainer links its publish span to the ack
+// span recorded by the application thread). A zero trace makes this Start.
+// Returns nil when the tracer is disabled or nil.
+func (t *Tracer) StartLinked(name, cat string, trace, parent uint64) *Span {
+	if t == nil || !t.enabled.Load() {
+		return nil
+	}
+	return &Span{
+		t:       t,
+		id:      t.nextID.Add(1),
+		parent:  parent,
+		trace:   trace,
+		name:    name,
+		cat:     cat,
+		startNS: time.Now().UnixNano() - t.epochNS.Load(),
+	}
+}
+
+// TraceID returns the causal trace this span belongs to (0 when it was
+// started outside a trace, or when s is nil — the disabled path — so the
+// value can be stored and later passed to StartLinked unconditionally).
+func (s *Span) TraceID() uint64 {
+	if s == nil {
+		return 0
+	}
+	return s.trace
+}
+
+// ID returns the span's identity, usable as the parent of a linked span.
+// Nil-safe; 0 when tracing is disabled.
+func (s *Span) ID() uint64 {
+	if s == nil {
+		return 0
+	}
+	return s.id
+}
+
+// Child opens a sub-span of s, inheriting its category, lane and trace.
+// Nil-safe.
 func (s *Span) Child(name string) *Span {
 	if s == nil || !s.t.enabled.Load() {
 		return nil
@@ -81,6 +137,7 @@ func (s *Span) Child(name string) *Span {
 		t:       s.t,
 		id:      s.t.nextID.Add(1),
 		parent:  s.id,
+		trace:   s.trace,
 		name:    name,
 		cat:     s.cat,
 		lane:    s.lane,
@@ -105,7 +162,7 @@ func (s *Span) End() {
 		return
 	}
 	rec := spanRecord{
-		id: s.id, parent: s.parent,
+		id: s.id, parent: s.parent, trace: s.trace,
 		name: s.name, cat: s.cat, lane: s.lane,
 		startNS: s.startNS,
 		durNS:   time.Now().UnixNano() - s.t.epochNS.Load() - s.startNS,
@@ -120,6 +177,26 @@ func (t *Tracer) Len() int {
 	t.mu.Lock()
 	defer t.mu.Unlock()
 	return len(t.spans)
+}
+
+// SpanInfo is one ended span as tests and the live plane read it back.
+type SpanInfo struct {
+	ID, Parent, Trace uint64
+	Name, Cat         string
+	Lane              int
+	StartNS, DurNS    int64
+}
+
+// Spans returns a snapshot of every ended span, in the order they ended.
+func (t *Tracer) Spans() []SpanInfo {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	out := make([]SpanInfo, len(t.spans))
+	for i, s := range t.spans {
+		out[i] = SpanInfo{ID: s.id, Parent: s.parent, Trace: s.trace,
+			Name: s.name, Cat: s.cat, Lane: s.lane, StartNS: s.startNS, DurNS: s.durNS}
+	}
+	return out
 }
 
 // chromeEvent is one trace_event entry. Complete events ("ph":"X") carry
@@ -139,7 +216,9 @@ type chromeEvent struct {
 // ChromeTraceJSON renders every ended span as a Chrome trace_event JSON
 // document ({"traceEvents": [...]}), loadable in chrome://tracing and
 // Perfetto. Spans are sorted by start time (ties by id) so the export is a
-// deterministic function of the collected spans.
+// deterministic function of the collected spans. Spans in a causal trace
+// carry "trace" in their args — search for it in Perfetto to isolate one
+// op's ack→drain→publish→visible chain.
 func (t *Tracer) ChromeTraceJSON() ([]byte, error) {
 	t.mu.Lock()
 	spans := append([]spanRecord(nil), t.spans...)
@@ -161,8 +240,14 @@ func (t *Tracer) ChromeTraceJSON() ([]byte, error) {
 			PID:  1,
 			TID:  s.lane,
 		}
-		if s.parent != 0 {
-			ev.Args = map[string]any{"parent": s.parent, "id": s.id}
+		if s.parent != 0 || s.trace != 0 {
+			ev.Args = map[string]any{"id": s.id}
+			if s.parent != 0 {
+				ev.Args["parent"] = s.parent
+			}
+			if s.trace != 0 {
+				ev.Args["trace"] = s.trace
+			}
 		}
 		events = append(events, ev)
 	}

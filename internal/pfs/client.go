@@ -40,6 +40,12 @@ type Handle struct {
 // Path returns the file path this handle refers to.
 func (h *Handle) Path() string { return h.path }
 
+// Semantics returns the consistency model governing this handle's path.
+// fs.opts (including PathRules) is immutable after New, so this is safe
+// without fs.mu — the WAL drainer labels its visibility-lag observations
+// with it from outside the lock.
+func (h *Handle) Semantics() Semantics { return h.c.fs.semFor(h.path) }
+
 // Open flag bits (match recorder's conventional values).
 const (
 	ORdonly = 0x0
@@ -129,6 +135,14 @@ func (h *Handle) visibleLocked(now uint64) func(extent) bool {
 // under commit/session it is buffered pending a commit/close; under eventual
 // it publishes with a propagation delay.
 func (h *Handle) Write(off int64, data []byte, now uint64) (uint64, error) {
+	return h.WriteTraced(off, data, now, 0)
+}
+
+// WriteTraced is Write carrying a causal trace ID (obs.Tracer span chain)
+// that is stamped into the operation's history event — the hand-off that
+// lets the WAL drainer's publish tie back to the rank's original write.
+// Zero trace makes this identical to Write.
+func (h *Handle) WriteTraced(off int64, data []byte, now uint64, trace uint64) (uint64, error) {
 	if h.c.crashed {
 		return 0, ErrCrashed
 	}
@@ -143,12 +157,12 @@ func (h *Handle) Write(off int64, data []byte, now uint64) (uint64, error) {
 	defer fs.mu.Unlock()
 	f, err := fs.ensure(h.path, false)
 	if err != nil {
-		fs.recordHistoryLocked(HistoryEvent{Kind: EvWrite, Rank: h.c.rank, Path: h.path,
+		fs.recordHistoryLocked(HistoryEvent{Kind: EvWrite, Trace: trace, Rank: h.c.rank, Path: h.path,
 			Handle: h.id, Off: off, Len: int64(len(data)), Now: now, Err: errString(err)})
 		return 0, err
 	}
 	if f.laminated {
-		fs.recordHistoryLocked(HistoryEvent{Kind: EvWrite, Rank: h.c.rank, Path: h.path,
+		fs.recordHistoryLocked(HistoryEvent{Kind: EvWrite, Trace: trace, Rank: h.c.rank, Path: h.path,
 			Handle: h.id, Off: off, Len: int64(len(data)), Now: now, Err: errString(ErrLaminated)})
 		return 0, ErrLaminated
 	}
@@ -156,7 +170,7 @@ func (h *Handle) Write(off int64, data []byte, now uint64) (uint64, error) {
 		Off: off, Len: int64(len(data)), Now: now})
 	if act.CrashBefore {
 		h.c.crashLocked()
-		fs.recordHistoryLocked(HistoryEvent{Kind: EvWrite, Rank: h.c.rank, Path: h.path,
+		fs.recordHistoryLocked(HistoryEvent{Kind: EvWrite, Trace: trace, Rank: h.c.rank, Path: h.path,
 			Handle: h.id, Off: off, Len: int64(len(data)), Now: now, Err: errString(ErrCrashed)})
 		return 0, ErrCrashed
 	}
@@ -170,7 +184,7 @@ func (h *Handle) Write(off int64, data []byte, now uint64) (uint64, error) {
 			Path: h.path, Off: off, Len: int64(len(data)), Now: now})
 		cost += extra
 		if act.Transient {
-			fs.recordHistoryLocked(HistoryEvent{Kind: EvWrite, Rank: h.c.rank, Path: h.path,
+			fs.recordHistoryLocked(HistoryEvent{Kind: EvWrite, Trace: trace, Rank: h.c.rank, Path: h.path,
 				Handle: h.id, Off: off, Len: int64(len(data)), Now: now, Err: errString(ErrTransient)})
 			return cost, fmt.Errorf("write %s: %w", h.path, ErrTransient)
 		}
@@ -192,11 +206,11 @@ func (h *Handle) Write(off int64, data []byte, now uint64) (uint64, error) {
 	case Eventual:
 		fs.publishBatchLocked(f, []extent{e}, now, act)
 	}
-	observeOp(OpWrite, cost)
+	observeOp(OpWrite, h.c.rank, cost)
 	bytesWrittenCounter.Add(int64(len(data)))
 	// A crash-after write is recorded as successful: the data landed on the
 	// servers even though the process never observed the completion.
-	fs.recordHistoryLocked(HistoryEvent{Kind: EvWrite, Rank: h.c.rank, Path: h.path,
+	fs.recordHistoryLocked(HistoryEvent{Kind: EvWrite, Trace: trace, Rank: h.c.rank, Path: h.path,
 		Handle: h.id, Off: off, Len: int64(len(e.data)), Data: e.data, Now: now})
 	if act.CrashAfter {
 		h.c.crashLocked()
@@ -307,7 +321,7 @@ func (h *Handle) Read(off, n int64, now uint64) ([]byte, uint64, error) {
 		own = rev
 	}
 	buf, visEnd := materialize(f, off, n, visible, own)
-	observeOp(OpRead, cost)
+	observeOp(OpRead, h.c.rank, cost)
 	avail := visEnd - off
 	if avail <= 0 {
 		fs.recordHistoryLocked(HistoryEvent{Kind: EvRead, Rank: h.c.rank, Path: h.path,
@@ -379,7 +393,7 @@ func (h *Handle) Commit(now uint64) (uint64, error) {
 	}
 	fs.stats.Commits++
 	cost := fs.opts.Cost.SyncCost
-	observeOp(OpCommit, cost)
+	observeOp(OpCommit, h.c.rank, cost)
 	if fs.semFor(h.path) != Commit {
 		fs.recordHistoryLocked(HistoryEvent{Kind: EvCommit, Rank: h.c.rank, Path: h.path,
 			Handle: h.id, Now: now})
@@ -443,7 +457,7 @@ func (h *Handle) Close(now uint64) (uint64, error) {
 	}
 	h.closed = true
 	cost := fs.opts.Cost.CloseCost + fs.opts.Cost.MetaRPC
-	observeOp(OpClose, cost)
+	observeOp(OpClose, h.c.rank, cost)
 	f, err := fs.ensure(h.path, false)
 	if err != nil {
 		fs.recordHistoryLocked(HistoryEvent{Kind: EvClose, Rank: h.c.rank, Path: h.path,

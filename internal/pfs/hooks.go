@@ -1,6 +1,10 @@
 package pfs
 
-import "sync/atomic"
+import (
+	"sync/atomic"
+
+	"repro/internal/obs"
+)
 
 // Fault-injection hooks. A FaultInjector registered on a FileSystem
 // intercepts every client data-path operation and may perturb it: crash the
@@ -147,6 +151,9 @@ func SetKillPointHook(h KillPointFunc) {
 // perturbation on the obs registry (the central spot that covers any
 // FaultInjector implementation). Callers hold fs.mu.
 func (fs *FileSystem) interceptLocked(op OpInfo) FaultAction {
+	if op.Attempt == 0 {
+		obs.Flight().Record(flightOpBegin[op.Kind], int32(op.Rank), 0, op.Off, op.Len)
+	}
 	if h := killHook.Load(); h != nil {
 		(*h)(op)
 	}
@@ -155,7 +162,7 @@ func (fs *FileSystem) interceptLocked(op OpInfo) FaultAction {
 	}
 	faultIntercepts.Inc()
 	act := fs.injector.Intercept(op)
-	observeFaultAction(act)
+	observeFaultAction(op, act)
 	return act
 }
 

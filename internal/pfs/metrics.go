@@ -51,6 +51,18 @@ var (
 		Eventual: obs.Default().Counter("pfs.visibility.stale_reads.eventual"),
 	}
 
+	// Ack-to-visible lag, per consistency model: host wall-clock nanoseconds
+	// from a WAL write's acknowledgement (local append+fsync returned) to
+	// the drainer's publish completing against this file system — the real
+	// ack-vs-durable gap of the paper's relaxed-semantics argument, observed
+	// live by the WAL drain loop (internal/wal) via ObserveVisibilityLag.
+	visLag = [...]*obs.Histogram{
+		Strong:   obs.Default().Histogram("pfs.visibility_lag.strong"),
+		Commit:   obs.Default().Histogram("pfs.visibility_lag.commit"),
+		Session:  obs.Default().Histogram("pfs.visibility_lag.session"),
+		Eventual: obs.Default().Histogram("pfs.visibility_lag.eventual"),
+	}
+
 	retryCounter     = obs.Default().Counter("pfs.retry.attempts")
 	transientCounter = obs.Default().Counter("pfs.retry.exhausted")
 
@@ -71,18 +83,48 @@ var (
 	faultIntercepts  = obs.Default().Counter("pfs.fault.intercepts")
 )
 
+// Flight-recorder event classes (obs.Flight). Interned once here so the
+// data path records small integers, never strings. Op begin is recorded at
+// the interception point (every op passes it, including ones a fault then
+// kills); op end at the completion tally.
+var (
+	flightOpBegin = [...]obs.FlightClass{
+		OpWrite:  obs.FlightClassFor("pfs.write.begin"),
+		OpRead:   obs.FlightClassFor("pfs.read.begin"),
+		OpCommit: obs.FlightClassFor("pfs.commit.begin"),
+		OpClose:  obs.FlightClassFor("pfs.close.begin"),
+	}
+	flightOpEnd = [...]obs.FlightClass{
+		OpWrite:  obs.FlightClassFor("pfs.write.end"),
+		OpRead:   obs.FlightClassFor("pfs.read.end"),
+		OpCommit: obs.FlightClassFor("pfs.commit.end"),
+		OpClose:  obs.FlightClassFor("pfs.close.end"),
+	}
+	flightFaultFired = obs.FlightClassFor("pfs.fault.fired")
+)
+
+// ObserveVisibilityLag records one WAL-routed write's ack-to-visible lag
+// (host wall ns) under the consistency model that governed it. Exported
+// for internal/wal — the drainer is the only place both endpoints of the
+// lag are known.
+func ObserveVisibilityLag(sem Semantics, ns int64) {
+	visLag[sem].Observe(ns)
+}
+
 // observeOp tallies one completed client data-path operation and its
 // simulated cost.
-func observeOp(kind OpKind, cost uint64) {
+func observeOp(kind OpKind, rank int, cost uint64) {
 	opCounters[kind].Inc()
 	opCost[kind].Observe(int64(cost))
+	obs.Flight().Record(flightOpEnd[kind], int32(rank), 0, int64(cost), 0)
 }
 
 // observeFaultAction counts the perturbations an injector requested.
-func observeFaultAction(act FaultAction) {
+func observeFaultAction(op OpInfo, act FaultAction) {
 	if act == (FaultAction{}) {
 		return
 	}
+	obs.Flight().Record(flightFaultFired, int32(op.Rank), 0, op.Off, op.Len)
 	if act.CrashBefore {
 		faultCrashBefore.Inc()
 	}

@@ -32,3 +32,10 @@ var (
 	recoverDropped     = obs.Default().Counter("wal.recover.records_dropped")
 	recoverTruncated   = obs.Default().Counter("wal.recover.bytes_truncated")
 )
+
+// Flight-recorder event classes: the degrade transitions are exactly the
+// "something went sideways" moments a post-mortem wants in the ring.
+var (
+	flightDegrade      = obs.FlightClassFor("wal.degrade")
+	flightWriteThrough = obs.FlightClassFor("wal.write-through")
+)
