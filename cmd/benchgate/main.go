@@ -26,6 +26,7 @@ import (
 	"fmt"
 	"os"
 	"regexp"
+	"sort"
 	"strconv"
 	"strings"
 )
@@ -108,30 +109,38 @@ func parse(lines []string) map[string]Bench {
 // entries for other benchmarks are kept, entries this run re-measured are
 // overwritten, and a missing file starts empty. This is how a PR refreshes
 // its own benchmarks in a shared checked-in baseline without clobbering the
-// rest. Returns the merged benchmark count.
-func mergeBaseline(path string, results map[string]Bench) (int, error) {
+// rest. Returns the baseline entries that were kept untouched (sorted) so
+// the caller can state exactly what this run did NOT re-measure — a silent
+// keep is indistinguishable from an overwrite in the diff.
+func mergeBaseline(path string, results map[string]Bench) (kept []string, err error) {
 	merged := Baseline{Benchmarks: map[string]Bench{}}
 	if data, err := os.ReadFile(path); err == nil {
 		if err := json.Unmarshal(data, &merged); err != nil {
-			return 0, fmt.Errorf("baseline %s: not valid baseline JSON: %w (refusing to overwrite)", path, err)
+			return nil, fmt.Errorf("baseline %s: not valid baseline JSON: %w (refusing to overwrite)", path, err)
 		}
 		if merged.Benchmarks == nil {
 			merged.Benchmarks = map[string]Bench{}
 		}
 	} else if !os.IsNotExist(err) {
-		return 0, fmt.Errorf("baseline %s: %w", path, err)
+		return nil, fmt.Errorf("baseline %s: %w", path, err)
 	}
+	for name := range merged.Benchmarks {
+		if _, ok := results[name]; !ok {
+			kept = append(kept, name)
+		}
+	}
+	sort.Strings(kept)
 	for name, b := range results {
 		merged.Benchmarks[name] = b
 	}
 	data, err := json.MarshalIndent(merged, "", "  ")
 	if err != nil {
-		return 0, err
+		return nil, err
 	}
 	if err := os.WriteFile(path, append(data, '\n'), 0o644); err != nil {
-		return 0, err
+		return nil, err
 	}
-	return len(merged.Benchmarks), nil
+	return kept, nil
 }
 
 // worse reports the regression of got over base as a percentage (negative
@@ -186,13 +195,17 @@ func main() {
 		fmt.Fprintf(os.Stderr, "benchgate: wrote %d benchmarks to %s\n", len(results), *emit)
 	}
 	if *writeBaseline != "" {
-		n, err := mergeBaseline(*writeBaseline, results)
+		kept, err := mergeBaseline(*writeBaseline, results)
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "benchgate: %v\n", err)
 			os.Exit(2)
 		}
 		fmt.Fprintf(os.Stderr, "benchgate: merged %d benchmarks into %s (%d total)\n",
-			len(results), *writeBaseline, n)
+			len(results), *writeBaseline, len(results)+len(kept))
+		if len(kept) > 0 {
+			fmt.Fprintf(os.Stderr, "benchgate: kept %d baseline entries not re-measured by this run: %s\n",
+				len(kept), strings.Join(kept, ", "))
+		}
 	}
 
 	if *baseline == "" {

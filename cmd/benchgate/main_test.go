@@ -44,19 +44,19 @@ func TestMergeBaseline(t *testing.T) {
 	dir := t.TempDir()
 	path := filepath.Join(dir, "BENCH.json")
 
-	// Missing file: starts empty.
-	n, err := mergeBaseline(path, map[string]Bench{"BenchmarkA": {NsPerOp: 10, AllocsPerOp: 1}})
-	if err != nil || n != 1 {
-		t.Fatalf("merge into missing file: n=%d err=%v", n, err)
+	// Missing file: starts empty, nothing kept.
+	kept, err := mergeBaseline(path, map[string]Bench{"BenchmarkA": {NsPerOp: 10, AllocsPerOp: 1}})
+	if err != nil || len(kept) != 0 {
+		t.Fatalf("merge into missing file: kept=%v err=%v", kept, err)
 	}
 
 	// Re-measured entries overwrite, unrelated entries survive.
-	n, err = mergeBaseline(path, map[string]Bench{
+	kept, err = mergeBaseline(path, map[string]Bench{
 		"BenchmarkA": {NsPerOp: 20, AllocsPerOp: 2},
 		"BenchmarkB": {NsPerOp: 5},
 	})
-	if err != nil || n != 2 {
-		t.Fatalf("merge update: n=%d err=%v", n, err)
+	if err != nil || len(kept) != 0 {
+		t.Fatalf("merge update: kept=%v err=%v", kept, err)
 	}
 	base, err := loadBaseline(path)
 	if err != nil {
@@ -67,6 +67,27 @@ func TestMergeBaseline(t *testing.T) {
 	}
 	if b := base.Benchmarks["BenchmarkB"]; b.NsPerOp != 5 {
 		t.Fatalf("BenchmarkB missing: %+v", b)
+	}
+
+	// A partial re-run must preserve entries it did not measure AND report
+	// them as kept — the regression this guards: a narrowed -bench filter
+	// silently dropping the rest of a shared baseline.
+	kept, err = mergeBaseline(path, map[string]Bench{"BenchmarkB": {NsPerOp: 6}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(kept) != 1 || kept[0] != "BenchmarkA" {
+		t.Fatalf("kept = %v, want [BenchmarkA]", kept)
+	}
+	base, err = loadBaseline(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a := base.Benchmarks["BenchmarkA"]; a.NsPerOp != 20 || a.AllocsPerOp != 2 {
+		t.Fatalf("BenchmarkA clobbered by partial re-run: %+v", a)
+	}
+	if b := base.Benchmarks["BenchmarkB"]; b.NsPerOp != 6 {
+		t.Fatalf("BenchmarkB not updated: %+v", b)
 	}
 
 	// A corrupt existing baseline is refused, not clobbered.

@@ -22,6 +22,7 @@ import (
 	"repro/internal/faults"
 	"repro/internal/obs"
 	"repro/internal/pfs"
+	"repro/internal/storage"
 
 	// Live /metrics exporter behind the -serve-metrics flag.
 	_ "repro/internal/obs/live"
@@ -38,6 +39,7 @@ func run() (code int) {
 		ckptDir = flag.String("checkpoint", "", "journal completed cells to this directory (crash-safe)")
 		resume  = flag.Bool("resume", false, "replay cells already journaled in -checkpoint instead of re-running them")
 		useWAL  = flag.Bool("wal", false, "also run every cell with per-rank write-ahead-log acknowledgement (internal/wal)")
+		spec    = flag.String("backend", "osdisk", "durable storage backend for -checkpoint state: osdisk | objstore[:delay=D,root=DIR] | flaky[:...]")
 		tele    obs.CLIFlags
 	)
 	tele.Register(flag.CommandLine)
@@ -46,6 +48,12 @@ func run() (code int) {
 		fmt.Fprintln(os.Stderr, "pfsbench: -resume requires -checkpoint")
 		return 2
 	}
+	backend, err := storage.ParseSpec(*spec)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "pfsbench: -backend:", err)
+		return 2
+	}
+	backend = storage.NewRetry(backend, storage.RetryOptions{})
 	if err := faults.ArmKillPointsFromEnv(); err != nil {
 		fmt.Fprintln(os.Stderr, "pfsbench:", err)
 		return 2
@@ -66,7 +74,7 @@ func run() (code int) {
 	var store *ckpt.Store
 	if *ckptDir != "" {
 		var err error
-		store, err = ckpt.Open(*ckptDir, ckpt.Manifest{
+		store, err = ckpt.OpenOn(backend, *ckptDir, ckpt.Manifest{
 			Kind:   "pfsbench",
 			Ranks:  *ranks,
 			PPN:    *ppn,

@@ -48,6 +48,7 @@ import (
 	// Live /metrics exporter behind the -serve-metrics flag.
 	_ "repro/internal/obs/live"
 	"repro/internal/report"
+	"repro/internal/storage"
 )
 
 const (
@@ -70,6 +71,7 @@ func run() (code int) {
 		ckptDir  = flag.String("checkpoint", "", "journal completed analyses to this directory (crash-safe)")
 		resume   = flag.Bool("resume", false, "replay an analysis already journaled in -checkpoint instead of re-running it")
 		checkSem = flag.Bool("check-consistency", false, "re-run the traced configuration under all four consistency models and verify each op history against its formal spec")
+		spec     = flag.String("backend", "osdisk", "durable storage backend for -trace reads and -checkpoint state: osdisk | objstore[:delay=D,root=DIR] | flaky[:...]")
 		tele     obs.CLIFlags
 	)
 	tele.Register(flag.CommandLine)
@@ -78,6 +80,12 @@ func run() (code int) {
 		fmt.Fprintln(os.Stderr, "semanalyze: -trace is required")
 		return exitUsage
 	}
+	backend, err := storage.ParseSpec(*spec)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "semanalyze: -backend:", err)
+		return exitUsage
+	}
+	backend = storage.NewRetry(backend, storage.RetryOptions{})
 	if *resume && *ckptDir == "" {
 		fmt.Fprintln(os.Stderr, "semanalyze: -resume requires -checkpoint")
 		return exitUsage
@@ -98,18 +106,15 @@ func run() (code int) {
 			}
 		}
 	}()
-	var (
-		tr  *semfs.Trace
-		err error
-	)
+	var tr *semfs.Trace
 	if *lenient {
 		var sal *semfs.Salvage
-		tr, sal, err = semfs.LoadTraceLenient(*dir)
+		tr, sal, err = semfs.LoadTraceLenientOn(backend, *dir)
 		if sal != nil {
 			fmt.Println(sal)
 		}
 	} else {
-		tr, err = semfs.LoadTrace(*dir)
+		tr, err = semfs.LoadTraceOn(backend, *dir)
 	}
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "semanalyze:", err)
@@ -128,7 +133,7 @@ func run() (code int) {
 	// configuration name plus a content fingerprint) and, via the manifest,
 	// the analysis flags that shape the output. The cached blob is one exit
 	// code byte followed by the rendered report.
-	store, err := ckpt.Open(*ckptDir, ckpt.Manifest{
+	store, err := ckpt.OpenOn(backend, *ckptDir, ckpt.Manifest{
 		Kind:   "semanalyze",
 		Params: fmt.Sprintf("validate=%v show=%d report=%v lenient=%v", *validate, *maxShow, *full, *lenient),
 	})

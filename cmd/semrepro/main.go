@@ -36,6 +36,7 @@ import (
 	"repro/internal/obs"
 	"repro/internal/pfs"
 	"repro/internal/report"
+	"repro/internal/storage"
 	"repro/internal/wal"
 
 	// Live /metrics exporter behind the -serve-metrics flag.
@@ -74,6 +75,8 @@ func run() (code int) {
 		walDir     = flag.String("wal-dir", "", "write-ahead log directory for -wal-burst / -wal-recover")
 		walApps    = flag.String("wal-apps", "", "comma-separated configuration names for -only walcompare (default: the FLASH/HACC burst set)")
 		flightDump = flag.String("flight-dump", "", "replay a flight-recorder dump file (written by -flight on a crash) and exit")
+		backSpec   = flag.String("backend", "osdisk", "durable storage backend for -checkpoint/-wal-burst/-wal-recover/-chaos state: osdisk | objstore[:delay=D,root=DIR] | flaky[:base=B,seed=N,count=N,kinds=transient|all]")
+		backRetry  = flag.Bool("backend-retry", true, "wrap -backend with the bounded-retry/degrade policy (storage.NewRetry)")
 		tele       obs.CLIFlags
 	)
 	tele.Register(flag.CommandLine)
@@ -116,6 +119,15 @@ func run() (code int) {
 		fmt.Fprintln(os.Stderr, "semrepro: -semantics:", err)
 		return exitUsage
 	}
+	backend, err := storage.ParseSpec(*backSpec)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "semrepro: -backend:", err)
+		return exitUsage
+	}
+	if *backRetry {
+		backend = storage.NewRetry(backend, storage.RetryOptions{})
+	}
+	osdiskBackend := *backSpec == "osdisk" || *backSpec == ""
 
 	if err := os.MkdirAll(*out, 0o755); err != nil {
 		fmt.Fprintln(os.Stderr, "semrepro:", err)
@@ -148,9 +160,9 @@ func run() (code int) {
 			return exitUsage
 		}
 		spec := wal.BurstSpec{Semantics: semantics, Ranks: *ranks, Seed: *seed,
-			Log: wal.Options{Dir: *walDir}}
+			Log: wal.Options{Dir: *walDir, Backend: backend}}
 		if *walBurst {
-			if err := os.MkdirAll(*walDir, 0o755); err != nil {
+			if err := backend.MkdirAll(*walDir); err != nil {
 				fmt.Fprintln(os.Stderr, "semrepro:", err)
 				return exitError
 			}
@@ -203,10 +215,14 @@ func run() (code int) {
 			Seeds:     seeds,
 			Workers:   *workers,
 		}
-		if *chaosWAL {
-			// NoFsync: chaos probes the drain/retry/degrade machinery, not
-			// host-disk durability (the kill-and-recover harness covers that).
-			sweepOpts.WAL = &wal.Options{NoFsync: true}
+		if *chaosWAL || !osdiskBackend {
+			// On osdisk, NoFsync: chaos probes the drain/retry/degrade
+			// machinery, not host-disk durability (the kill-and-recover
+			// harness covers that). A non-default -backend implies WAL
+			// routing — the WAL is the only layer chaos touches a durable
+			// backend through — and keeps fsync on, because on objstore/flaky
+			// the Sync path is exactly what is under test.
+			sweepOpts.WAL = &wal.Options{NoFsync: osdiskBackend, Backend: backend}
 		}
 		rep, err := faults.Sweep(context.Background(), sweepOpts)
 		if err != nil {
@@ -295,7 +311,7 @@ func run() (code int) {
 
 	sweep := experiments.SweepOptions{Workers: *workers, TaskTimeout: *timeout, Resume: *resume}
 	if *ckptDir != "" {
-		store, err := experiments.OpenCheckpoint(*ckptDir, scale)
+		store, err := experiments.OpenCheckpointOn(backend, *ckptDir, scale)
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "semrepro: -checkpoint:", err)
 			return exitError

@@ -21,10 +21,11 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
-	"os"
 	"path/filepath"
 	"sort"
 	"sync"
+
+	"repro/internal/storage"
 )
 
 // SchemaVersion is the on-disk format version stamped into every manifest.
@@ -53,29 +54,57 @@ type Manifest struct {
 // the run being resumed.
 var ErrMismatch = errors.New("ckpt: checkpoint belongs to a different run")
 
+// ErrBackendConfig marks a store whose storage backend proved persistently
+// unavailable: the retry policy exhausted its budget, so this is an
+// operator/configuration problem (wrong endpoint, dead disk), not data
+// damage. The ckpt layer demotes storage.ErrUnavailable to this — a sweep
+// must refuse to start rather than half-run against a store it cannot
+// commit to.
+var ErrBackendConfig = errors.New("ckpt: storage backend unavailable (configuration error)")
+
+// demote maps an exhausted-backend failure onto the configuration-error
+// rung of the degradation ladder; other errors pass through.
+func demote(err error) error {
+	if err != nil && errors.Is(err, storage.ErrUnavailable) {
+		return fmt.Errorf("%w: %w", ErrBackendConfig, err)
+	}
+	return err
+}
+
 // Store is a durable key → blob journal store rooted in one directory. It is
 // safe for concurrent appends (sweep workers commit results as they finish).
 type Store struct {
-	dir string
+	dir     string
+	backend storage.Backend
 
 	mu        sync.Mutex
-	f         *os.File
+	f         storage.File
 	committed map[string][]byte
 	stats     RecoverStats
 }
 
-// Open opens (creating if needed) the checkpoint store at dir. m.Version is
-// stamped with SchemaVersion. A fresh directory gets the manifest written
-// atomically; an existing one must carry an equal manifest, and its journal
-// is recovered — CRC-verified, torn tail salvaged and truncated — before the
-// store accepts appends.
+// Open opens (creating if needed) the checkpoint store at dir on the local
+// OS disk — byte-identical to the pre-seam layout. See OpenOn.
 func Open(dir string, m Manifest) (*Store, error) {
+	return OpenOn(storage.OS(), dir, m)
+}
+
+// OpenOn opens (creating if needed) the checkpoint store at dir on backend
+// b. m.Version is stamped with SchemaVersion. A fresh directory gets the
+// manifest written atomically; an existing one must carry an equal
+// manifest, and its journal is recovered — CRC-verified, torn tail salvaged
+// and truncated — before the store accepts appends. On an eventually-
+// consistent backend the open first waits out the publish-visibility
+// horizon so resume sees everything a crashed run managed to commit. A
+// persistently unavailable backend surfaces as ErrBackendConfig.
+func OpenOn(b storage.Backend, dir string, m Manifest) (*Store, error) {
 	m.Version = SchemaVersion
-	if err := os.MkdirAll(dir, 0o755); err != nil {
-		return nil, fmt.Errorf("ckpt: %w", err)
+	storage.Settle(b)
+	if err := b.MkdirAll(dir); err != nil {
+		return nil, demote(fmt.Errorf("ckpt: %w", err))
 	}
 	mpath := filepath.Join(dir, manifestName)
-	existing, err := os.ReadFile(mpath)
+	existing, err := b.ReadFile(mpath)
 	switch {
 	case err == nil:
 		var have Manifest
@@ -85,22 +114,22 @@ func Open(dir string, m Manifest) (*Store, error) {
 		if have != m {
 			return nil, fmt.Errorf("%w: %s holds %+v, want %+v", ErrMismatch, dir, have, m)
 		}
-	case os.IsNotExist(err):
-		b, jerr := json.MarshalIndent(m, "", "  ")
+	case storage.IsNotExist(err):
+		jb, jerr := json.MarshalIndent(m, "", "  ")
 		if jerr != nil {
 			return nil, fmt.Errorf("ckpt: %w", jerr)
 		}
-		if werr := atomicWriteFile(mpath, append(b, '\n')); werr != nil {
-			return nil, werr
+		if werr := storage.WriteFileAtomic(b, mpath, append(jb, '\n')); werr != nil {
+			return nil, demote(fmt.Errorf("ckpt: %w", werr))
 		}
 	default:
-		return nil, fmt.Errorf("ckpt: %w", err)
+		return nil, demote(fmt.Errorf("ckpt: %w", err))
 	}
 
 	jpath := filepath.Join(dir, journalName)
-	f, err := os.OpenFile(jpath, os.O_CREATE|os.O_RDWR, 0o644)
+	f, err := b.Open(jpath, storage.OCreate|storage.ORdwr, 0o644)
 	if err != nil {
-		return nil, fmt.Errorf("ckpt: %w", err)
+		return nil, demote(fmt.Errorf("ckpt: %w", err))
 	}
 	byKey, stats, good, err := recoverJournal(f)
 	if err != nil {
@@ -120,7 +149,7 @@ func Open(dir string, m Manifest) (*Store, error) {
 	recoverKept.Add(int64(stats.Records))
 	recoverDropped.Add(int64(stats.Dropped))
 	recoverTruncated.Add(stats.TailBytes)
-	return &Store{dir: dir, f: f, committed: byKey, stats: stats}, nil
+	return &Store{dir: dir, backend: b, f: f, committed: byKey, stats: stats}, nil
 }
 
 // Dir returns the store's root directory.
@@ -177,7 +206,7 @@ func (s *Store) Append(key string, blob []byte) error {
 		return errors.New("ckpt: store is closed")
 	}
 	if _, err := appendRecord(s.f, key, blob); err != nil {
-		return err
+		return demote(err)
 	}
 	s.committed[key] = append([]byte(nil), blob...)
 	return nil
@@ -196,12 +225,20 @@ func (s *Store) Close() error {
 	return err
 }
 
-// ReadJournal recovers dir's journal read-only: committed keys (sorted) plus
-// salvage stats, without truncating damage or touching the manifest. Tooling
-// and the kill-and-recover harness use it to inspect what a crashed run
-// committed.
+// ReadJournal recovers dir's journal read-only on the local OS disk. See
+// ReadJournalOn.
 func ReadJournal(dir string) ([]string, RecoverStats, error) {
-	f, err := os.Open(filepath.Join(dir, journalName))
+	return ReadJournalOn(storage.OS(), dir)
+}
+
+// ReadJournalOn recovers dir's journal read-only: committed keys (sorted)
+// plus salvage stats, without truncating damage or touching the manifest.
+// Tooling and the kill-and-recover harness use it to inspect what a crashed
+// run committed; on an eventual backend it waits out the visibility horizon
+// first.
+func ReadJournalOn(b storage.Backend, dir string) ([]string, RecoverStats, error) {
+	storage.Settle(b)
+	f, err := b.Open(filepath.Join(dir, journalName), storage.ORdonly, 0)
 	if err != nil {
 		return nil, RecoverStats{}, fmt.Errorf("ckpt: %w", err)
 	}
@@ -218,37 +255,7 @@ func ReadJournal(dir string) ([]string, RecoverStats, error) {
 	return keys, stats, nil
 }
 
-// atomicWriteFile writes path via write-temp → fsync → rename → fsync(dir):
-// the file either exists with the full content or not at all, never torn —
-// the commit discipline the paper's applications rely on, applied to our own
-// metadata.
-func atomicWriteFile(path string, b []byte) error {
-	dir := filepath.Dir(path)
-	tmp, err := os.CreateTemp(dir, ".tmp-"+filepath.Base(path)+"-")
-	if err != nil {
-		return fmt.Errorf("ckpt: %w", err)
-	}
-	tmpName := tmp.Name()
-	defer os.Remove(tmpName) // no-op after a successful rename
-	if _, err := tmp.Write(b); err != nil {
-		tmp.Close()
-		return fmt.Errorf("ckpt: %w", err)
-	}
-	if err := tmp.Sync(); err != nil {
-		tmp.Close()
-		return fmt.Errorf("ckpt: %w", err)
-	}
-	if err := tmp.Close(); err != nil {
-		return fmt.Errorf("ckpt: %w", err)
-	}
-	if err := os.Rename(tmpName, path); err != nil {
-		return fmt.Errorf("ckpt: %w", err)
-	}
-	// Publish the rename itself: fsync the directory so the new name
-	// survives a crash (best-effort on platforms that refuse dir fsync).
-	if d, err := os.Open(dir); err == nil {
-		_ = d.Sync()
-		_ = d.Close()
-	}
-	return nil
-}
+// The manifest commit (write-temp → fsync → rename → fsync(dir) — the
+// discipline the paper's applications rely on, applied to our own metadata)
+// now lives in storage.WriteFileAtomic so every backend supplies its own
+// strongest version of it.

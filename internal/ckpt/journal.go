@@ -6,10 +6,10 @@ import (
 	"fmt"
 	"hash/crc32"
 	"io"
-	"os"
 	"time"
 
 	"repro/internal/faults"
+	"repro/internal/storage"
 )
 
 // The journal is an append-only write-ahead log of completed work units.
@@ -86,7 +86,7 @@ func decodePayload(p []byte) (string, []byte, error) {
 // die with the journal untouched (begin), with a torn tail (torn), with a
 // complete-but-unsynced record (before-fsync), or just after the commit
 // (after-fsync).
-func appendRecord(f *os.File, key string, blob []byte) (int64, error) {
+func appendRecord(f storage.File, key string, blob []byte) (int64, error) {
 	payload := encodePayload(key, blob)
 	if len(payload) > maxPayload {
 		return 0, fmt.Errorf("ckpt: record for %q is %d bytes, over the %d limit", key, len(payload), maxPayload)

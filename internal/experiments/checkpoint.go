@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"repro/internal/ckpt"
+	"repro/internal/storage"
 )
 
 // Checkpoint/resume support for registry sweeps: the store's manifest pins
@@ -15,11 +16,18 @@ import (
 const CheckpointKind = "experiments.sweep"
 
 // OpenCheckpoint opens (or creates) the durable checkpoint store for a
-// registry sweep at scale s. Pass the returned store in
-// SweepOptions.Checkpoint; set SweepOptions.Resume to replay what a previous
-// (possibly crashed) run already committed.
+// registry sweep at scale s on the local OS disk. Pass the returned store
+// in SweepOptions.Checkpoint; set SweepOptions.Resume to replay what a
+// previous (possibly crashed) run already committed.
 func OpenCheckpoint(dir string, s Scale) (*ckpt.Store, error) {
-	return ckpt.Open(dir, ckpt.Manifest{
+	return OpenCheckpointOn(storage.OS(), dir, s)
+}
+
+// OpenCheckpointOn is OpenCheckpoint against an explicit storage backend —
+// how the CLIs' -backend flag routes sweep checkpoints onto the object
+// store or a fault-wrapped store.
+func OpenCheckpointOn(b storage.Backend, dir string, s Scale) (*ckpt.Store, error) {
+	return ckpt.OpenOn(b, dir, ckpt.Manifest{
 		Kind:      CheckpointKind,
 		Ranks:     s.Ranks,
 		PPN:       s.PPN,

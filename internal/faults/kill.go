@@ -24,6 +24,7 @@ import (
 
 	"repro/internal/obs"
 	"repro/internal/pfs"
+	"repro/internal/storage"
 	"repro/internal/wal"
 )
 
@@ -49,7 +50,8 @@ var kill struct {
 // Nth call to Hit(point) will SIGKILL the process. Arming any point whose
 // name starts with "pfs.op." also installs the pfs kill hook, so data-path
 // operations (write/read/commit/close) become killable sites too; arming a
-// "wal."-prefixed point installs the write-ahead-log hook the same way. An
+// "wal."-prefixed point installs the write-ahead-log hook, and a
+// "storage."-prefixed point the durable-backend hook, the same way. An
 // empty spec arms nothing.
 func ArmKillPoints(spec string) error {
 	spec = strings.TrimSpace(spec)
@@ -62,7 +64,7 @@ func ArmKillPoints(spec string) error {
 		kill.armed = make(map[string]int)
 		kill.hits = make(map[string]int)
 	}
-	hookPFS, hookWAL := false, false
+	hookPFS, hookWAL, hookStorage := false, false, false
 	for _, part := range strings.Split(spec, ",") {
 		part = strings.TrimSpace(part)
 		if part == "" {
@@ -84,12 +86,18 @@ func ArmKillPoints(spec string) error {
 		if strings.HasPrefix(point, "wal.") {
 			hookWAL = true
 		}
+		if strings.HasPrefix(point, "storage.") {
+			hookStorage = true
+		}
 	}
 	if hookPFS {
 		pfs.SetKillPointHook(func(op pfs.OpInfo) { Hit("pfs.op." + op.Kind.String()) })
 	}
 	if hookWAL {
 		wal.SetKillPointHook(Hit)
+	}
+	if hookStorage {
+		storage.SetKillPointHook(Hit)
 	}
 	return nil
 }
@@ -140,6 +148,7 @@ func ResetKillPoints() {
 	kill.mu.Unlock()
 	pfs.SetKillPointHook(nil)
 	wal.SetKillPointHook(nil)
+	storage.SetKillPointHook(nil)
 }
 
 // fallbackExit is the last-resort crash when SIGKILL is unavailable or

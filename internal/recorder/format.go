@@ -7,8 +7,9 @@ import (
 	"errors"
 	"fmt"
 	"io"
-	"os"
 	"path/filepath"
+
+	"repro/internal/storage"
 )
 
 // Binary trace format, one stream per rank:
@@ -276,18 +277,24 @@ func DecodeRankStream(r io.Reader) (rank int, records []Record, err error) {
 // "rank_NNNNN.rec" binary stream per rank — the same on-disk shape a
 // per-process tracer produces on a real system.
 func SaveDir(dir string, tr *Trace) error {
-	if err := os.MkdirAll(dir, 0o755); err != nil {
+	return SaveDirOn(storage.OS(), dir, tr)
+}
+
+// SaveDirOn is SaveDir against an explicit storage backend (how semtrace's
+// -backend flag lands traces on the object store).
+func SaveDirOn(b storage.Backend, dir string, tr *Trace) error {
+	if err := b.MkdirAll(dir); err != nil {
 		return err
 	}
 	metaBytes, err := json.MarshalIndent(tr.Meta, "", "  ")
 	if err != nil {
 		return err
 	}
-	if err := os.WriteFile(filepath.Join(dir, "trace.meta"), metaBytes, 0o644); err != nil {
+	if err := writeFileOn(b, filepath.Join(dir, "trace.meta"), metaBytes); err != nil {
 		return err
 	}
 	for rank, rs := range tr.PerRank {
-		f, err := os.Create(filepath.Join(dir, rankFileName(rank)))
+		f, err := b.Open(filepath.Join(dir, rankFileName(rank)), storage.OCreate|storage.OWronly|storage.OTrunc, 0o644)
 		if err != nil {
 			return err
 		}
@@ -302,9 +309,30 @@ func SaveDir(dir string, tr *Trace) error {
 	return nil
 }
 
+// writeFileOn mirrors os.WriteFile on a backend: create/truncate, write,
+// close (no fsync — same durability the pre-seam path offered).
+func writeFileOn(b storage.Backend, path string, data []byte) error {
+	f, err := b.Open(path, storage.OCreate|storage.OWronly|storage.OTrunc, 0o644)
+	if err != nil {
+		return err
+	}
+	_, werr := f.Write(data)
+	if cerr := f.Close(); werr == nil {
+		werr = cerr
+	}
+	return werr
+}
+
 // LoadDir loads a trace previously written by SaveDir.
 func LoadDir(dir string) (*Trace, error) {
-	metaBytes, err := os.ReadFile(filepath.Join(dir, "trace.meta"))
+	return LoadDirOn(storage.OS(), dir)
+}
+
+// LoadDirOn is LoadDir against an explicit storage backend. On an eventual
+// backend it waits out the publish-visibility horizon before reading.
+func LoadDirOn(b storage.Backend, dir string) (*Trace, error) {
+	storage.Settle(b)
+	metaBytes, err := b.ReadFile(filepath.Join(dir, "trace.meta"))
 	if err != nil {
 		return nil, err
 	}
@@ -317,7 +345,7 @@ func LoadDir(dir string) (*Trace, error) {
 	}
 	tr := &Trace{Meta: meta, PerRank: make([][]Record, meta.Ranks)}
 	for rank := 0; rank < meta.Ranks; rank++ {
-		f, err := os.Open(filepath.Join(dir, rankFileName(rank)))
+		f, err := b.Open(filepath.Join(dir, rankFileName(rank)), storage.ORdonly, 0)
 		if err != nil {
 			return nil, err
 		}
@@ -374,7 +402,13 @@ func (s *Salvage) String() string {
 // when the metadata is unusable or not a single record survives, so an
 // analysis pipeline fed a damaged trace degrades instead of dying.
 func LoadDirLenient(dir string) (*Trace, *Salvage, error) {
-	metaBytes, err := os.ReadFile(filepath.Join(dir, "trace.meta"))
+	return LoadDirLenientOn(storage.OS(), dir)
+}
+
+// LoadDirLenientOn is LoadDirLenient against an explicit storage backend.
+func LoadDirLenientOn(b storage.Backend, dir string) (*Trace, *Salvage, error) {
+	storage.Settle(b)
+	metaBytes, err := b.ReadFile(filepath.Join(dir, "trace.meta"))
 	if err != nil {
 		return nil, nil, err
 	}
@@ -402,7 +436,7 @@ func LoadDirLenient(dir string) (*Trace, *Salvage, error) {
 		sal.Errs = append(sal.Errs, fmt.Errorf("%s: %w", name, err))
 	}
 	for rank := 0; rank < meta.Ranks; rank++ {
-		f, err := os.Open(filepath.Join(dir, rankFileName(rank)))
+		f, err := b.Open(filepath.Join(dir, rankFileName(rank)), storage.ORdonly, 0)
 		if err != nil {
 			degrade(rank, 0, err)
 			continue

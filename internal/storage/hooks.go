@@ -1,0 +1,35 @@
+package storage
+
+import "sync/atomic"
+
+// KillPointFunc observes a named storage kill point. The faults package
+// installs its process-kill counter here (mirroring wal.SetKillPointHook)
+// when SEMFS_KILL arms a "storage."-prefixed point; storage itself never
+// imports faults, which keeps the wal → storage layering acyclic while
+// chaos code in faults drives backend-routed runs.
+//
+// Points, bracketing the three operations whose crash timing matters to
+// the durability arguments:
+//
+//	storage.write.before / storage.write.after
+//	storage.sync.before  / storage.sync.after
+//	storage.rename.before / storage.rename.after
+type KillPointFunc func(point string)
+
+var killHook atomic.Pointer[KillPointFunc]
+
+// SetKillPointHook installs fn as the process-wide storage kill-point
+// observer. Pass nil to remove it. The nil fast path costs one atomic load.
+func SetKillPointHook(fn KillPointFunc) {
+	if fn == nil {
+		killHook.Store(nil)
+		return
+	}
+	killHook.Store(&fn)
+}
+
+func hitKillPoint(point string) {
+	if fn := killHook.Load(); fn != nil {
+		(*fn)(point)
+	}
+}

@@ -1,0 +1,43 @@
+package storage
+
+import "repro/internal/obs"
+
+// Durable-storage telemetry on the process-wide registry (DESIGN.md §9
+// naming: storage.op.* for seam operations, storage.sync.ns for the real
+// durability cost, storage.fault.* for flaky-backend injections,
+// storage.retry.* for the policy layer, storage.publish.* for objstore
+// write-then-publish). storage.sync.ns records host wall time — like
+// ckpt.journal.fsync_ns it varies between otherwise identical runs; every
+// other instrument is a deterministic function of the run and its fault
+// schedule.
+var (
+	opens      = obs.Default().Counter("storage.op.opens")
+	reads      = obs.Default().Counter("storage.op.reads")
+	writes     = obs.Default().Counter("storage.op.writes")
+	writeBytes = obs.Default().Counter("storage.op.write_bytes")
+	syncs      = obs.Default().Counter("storage.op.syncs")
+	renames    = obs.Default().Counter("storage.op.renames")
+	removes    = obs.Default().Counter("storage.op.removes")
+	lists      = obs.Default().Counter("storage.op.lists")
+	opErrors   = obs.Default().Counter("storage.op.errors")
+	syncNS     = obs.Default().Histogram("storage.sync.ns")
+
+	publishVersions = obs.Default().Counter("storage.publish.versions")
+	publishBytes    = obs.Default().Counter("storage.publish.bytes")
+	publishLagNS    = obs.Default().Histogram("storage.publish.lag_ns")
+
+	faultsFired    = obs.Default().Counter("storage.fault.fired")
+	faultLatencyNS = obs.Default().Histogram("storage.fault.latency_ns")
+
+	retryAttempts  = obs.Default().Counter("storage.retry.attempts")
+	retrySleepNS   = obs.Default().Histogram("storage.retry.sleep_ns")
+	retryExhausted = obs.Default().Counter("storage.retry.exhausted")
+	retryDeadline  = obs.Default().Counter("storage.retry.deadline_exceeded")
+)
+
+// Flight-recorder event classes: degrade-relevant storage moments for the
+// post-mortem ring.
+var (
+	flightFault     = obs.FlightClassFor("storage.fault")
+	flightExhausted = obs.FlightClassFor("storage.exhausted")
+)

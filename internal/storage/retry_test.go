@@ -1,0 +1,162 @@
+package storage
+
+import (
+	"errors"
+	"fmt"
+	"path/filepath"
+	"testing"
+	"time"
+)
+
+// TestBackoffDelayPropertyBounds is the first half of the retry-policy
+// property suite: for any seed, Delay is a pure function of (seed, attempt)
+// — two independent evaluations agree — and the cumulative sleep across any
+// prefix of attempts stays under the analytic, seed-independent
+// MaxTotalDelay bound.
+func TestBackoffDelayPropertyBounds(t *testing.T) {
+	const attempts = 10
+	for seed := uint64(1); seed <= 256; seed++ {
+		b := Backoff{Seed: seed}
+		var total uint64
+		for a := 0; a < attempts; a++ {
+			d1 := b.Delay(a)
+			d2 := Backoff{Seed: seed}.Delay(a) // fresh value, same inputs
+			if d1 != d2 {
+				t.Fatalf("seed %d attempt %d: Delay not deterministic (%d vs %d)", seed, a, d1, d2)
+			}
+			total += d1
+			if bound := b.MaxTotalDelay(a + 1); total > bound {
+				t.Fatalf("seed %d: total sleep %d after %d attempts exceeds bound %d",
+					seed, total, a+1, bound)
+			}
+		}
+	}
+}
+
+// TestRetryTotalSleepDeterministicAndBounded drives the policy wrapper
+// itself against an always-transient backend with an instrumented Sleep:
+// the observed sleep sequence is identical run to run for a fixed seed,
+// its total is under MaxTotalDelay, and exhaustion surfaces as
+// ErrUnavailable (ErrTransient deliberately shed) with Healthy() sticky
+// false.
+func TestRetryTotalSleepDeterministicAndBounded(t *testing.T) {
+	const maxAttempts = 5
+	run := func(seed uint64) ([]time.Duration, error) {
+		var sleeps []time.Duration
+		b := NewRetry(NewFlaky(OS(), Schedule{WedgeAfter: 1}), RetryOptions{
+			MaxAttempts: maxAttempts,
+			Backoff:     Backoff{Seed: seed},
+			Sleep:       func(d time.Duration) { sleeps = append(sleeps, d) },
+		})
+		f, err := b.Open(filepath.Join(t.TempDir(), "x.dat"), OCreate|OWronly, 0o644)
+		if err != nil {
+			return nil, err
+		}
+		defer f.Close()
+		if _, err := f.Write([]byte("warm")); err != nil { // pre-wedge, succeeds
+			return nil, err
+		}
+		_, werr := f.Write([]byte("doomed")) // wedged: transient forever
+		if Health(b) {
+			return nil, errors.New("policy exhausted but Health still true")
+		}
+		return sleeps, werr
+	}
+
+	for seed := uint64(1); seed <= 16; seed++ {
+		s1, err1 := run(seed)
+		s2, err2 := run(seed)
+		if err1 == nil || err2 == nil {
+			t.Fatalf("seed %d: wedged write succeeded (%v, %v)", seed, err1, err2)
+		}
+		if !errors.Is(err1, ErrUnavailable) {
+			t.Fatalf("seed %d: exhaustion err = %v, want ErrUnavailable", seed, err1)
+		}
+		if errors.Is(err1, ErrTransient) {
+			t.Fatalf("seed %d: exhaustion error still transient — the layer above would keep retrying", seed)
+		}
+		if len(s1) != len(s2) {
+			t.Fatalf("seed %d: sleep sequences differ in length (%d vs %d)", seed, len(s1), len(s2))
+		}
+		var total uint64
+		for i := range s1 {
+			if s1[i] != s2[i] {
+				t.Fatalf("seed %d sleep %d: %v vs %v (not deterministic)", seed, i, s1[i], s2[i])
+			}
+			total += uint64(s1[i])
+		}
+		if len(s1) != maxAttempts-1 {
+			t.Fatalf("seed %d: %d sleeps, want %d (one between each attempt)", seed, len(s1), maxAttempts-1)
+		}
+		if bound := (Backoff{Seed: seed}).MaxTotalDelay(maxAttempts - 1); total > bound {
+			t.Fatalf("seed %d: total sleep %d exceeds analytic bound %d", seed, total, bound)
+		}
+	}
+}
+
+// TestRetryTransientOnlyConverges is the second half of the property suite:
+// for any seed, a workload run against a flaky backend with a
+// transient-only schedule completes with no error surfacing and no health
+// degradation — the policy absorbs every injected fault.
+func TestRetryTransientOnlyConverges(t *testing.T) {
+	for seed := uint64(1); seed <= 24; seed++ {
+		seed := seed
+		t.Run(fmt.Sprintf("seed=%d", seed), func(t *testing.T) {
+			sched := GenSchedule(seed, GenOptions{
+				Count: 6,
+				Kinds: []FaultKind{FaultTransient, FaultRenameFail},
+			})
+			if !sched.TransientOnly() {
+				t.Fatalf("schedule not transient-only:\n%s", sched.Encode())
+			}
+			fb := NewFlaky(OS(), sched)
+			b := NewRetry(fb, RetryOptions{Sleep: func(time.Duration) {}})
+			dir := t.TempDir()
+			for i := 0; i < 12; i++ {
+				path := filepath.Join(dir, fmt.Sprintf("f%02d.dat", i))
+				if err := WriteFileAtomic(b, path, []byte(fmt.Sprintf("payload %d", i))); err != nil {
+					t.Fatalf("write %d: %v", i, err)
+				}
+				if got, err := b.ReadFile(path); err != nil || string(got) != fmt.Sprintf("payload %d", i) {
+					t.Fatalf("readback %d: %q, %v", i, got, err)
+				}
+			}
+			if !Health(b) {
+				t.Fatalf("transient-only schedule degraded the backend (stats %+v, flaky %+v)",
+					b.(*retrier).Stats(), fb.(*flaky).Stats())
+			}
+			if fb.(*flaky).Stats().Fired == 0 {
+				t.Fatalf("schedule never fired — the property was tested against nothing:\n%s", sched.Encode())
+			}
+		})
+	}
+}
+
+// TestRetryDeadlineShortCircuits: when the next backoff cannot fit in the
+// per-op deadline, the policy stops sleeping and exhausts early instead of
+// overshooting the budget.
+func TestRetryDeadlineShortCircuits(t *testing.T) {
+	var clock time.Time // zero time; advanced manually
+	var slept int
+	b := NewRetry(NewFlaky(OS(), Schedule{WedgeAfter: 0, Injections: []FaultInjection{
+		{Kind: FaultTransient, N: 1, Arg: 99}, // effectively forever
+	}}), RetryOptions{
+		MaxAttempts: 8,
+		Deadline:    time.Millisecond, // far under the first backoff delay
+		Backoff:     Backoff{BaseNS: uint64(10 * time.Millisecond)},
+		Sleep:       func(time.Duration) { slept++ },
+		Now:         func() time.Time { return clock },
+	})
+	f, err := b.Open(filepath.Join(t.TempDir(), "x.dat"), OCreate|OWronly, 0o644)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	_, werr := f.Write([]byte("doomed"))
+	if !errors.Is(werr, ErrUnavailable) {
+		t.Fatalf("err = %v, want ErrUnavailable", werr)
+	}
+	if slept != 0 {
+		t.Fatalf("slept %d times past a deadline that cannot fit any backoff", slept)
+	}
+}

@@ -1,0 +1,354 @@
+// Package storage is the durable-storage seam under every host-side
+// persistence layer in the repo (internal/ckpt manifests + journals,
+// internal/wal log segments + ack files, recorder trace directories). The
+// paper argues most HPC applications only need relaxed (session/commit)
+// file-system semantics; until this seam existed, the repo could only test
+// that claim against the local OS disk, whose semantics are strictly
+// stronger than what the claim requires. A Backend abstracts the handful of
+// operations the durable layers actually use — open/read/write-at/sync/
+// rename/remove/list, the catalyst-forge fs + go-objstore StorageFS shape —
+// so the same journals and logs can run against:
+//
+//   - osdisk: the local file system, byte-identical to the pre-seam os.*
+//     paths (the compatibility oracle, pinned by golden-layout tests);
+//   - objstore: a flat-namespace object store with write-then-publish
+//     visibility — a Sync uploads an immutable version that only becomes
+//     readable after a tunable delay, so eventual semantics are real, not
+//     simulated (see "Exploring Scientific Application Performance Using
+//     Large Scale Object Storage", PAPERS.md);
+//   - flaky: a wrapper over either, firing seed-deterministic injected
+//     faults (latency, transient errors, torn writes, lost syncs, rename
+//     failures) at the Nth eligible operation, mirroring internal/faults'
+//     schedule discipline.
+//
+// Retry returns a policy wrapper adding per-op deadlines, Backoff-based
+// bounded retries on ErrTransient, and a health signal the WAL (degrade to
+// write-through) and ckpt (demote to config error) layers consume.
+//
+// The package sits below internal/faults in the import order (faults
+// imports wal imports storage), so process-kill points use the same
+// hook indirection as internal/wal: faults installs its Hit counter via
+// SetKillPointHook when a "storage."-prefixed point is armed.
+package storage
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+	"time"
+)
+
+// Open flags, a strict subset of the os.O_* set the durable layers use.
+// Values intentionally match the os package so the osdisk backend is a
+// pass-through.
+const (
+	ORdonly = 0x0
+	OWronly = 0x1
+	ORdwr   = 0x2
+	OCreate = 0x40
+	OTrunc  = 0x200
+	OAppend = 0x400
+)
+
+// ErrTransient marks a failure worth retrying: the operation may succeed on
+// a later attempt against the same backend (injected flaky-backend errors,
+// an objstore read racing a publish). Wrap with %w so errors.Is sees it.
+var ErrTransient = errors.New("storage: transient backend error")
+
+// ErrUnavailable marks a backend the retry policy has given up on: the
+// per-op attempt budget or deadline was exhausted without a success. The
+// layers above map it onto their degradation ladder — the WAL falls back to
+// synchronous write-through, ckpt surfaces it as a configuration error.
+var ErrUnavailable = errors.New("storage: backend unavailable")
+
+// File is one open object on a Backend. The durable layers use it as an
+// append log (Write after Seek to the recovered tail), a random-access blob
+// (ReadAt/WriteAt), and a sequential recovery stream (Read from offset 0).
+// Sync is the durability point: a write is crash-safe exactly when the Sync
+// covering it has returned. On the objstore backend Sync is also the
+// *publish* point — the version it uploads becomes visible to readers only
+// after the store's visibility delay.
+type File interface {
+	io.Reader
+	io.Writer
+	io.ReaderAt
+	io.WriterAt
+	io.Seeker
+	io.Closer
+	// Truncate cuts the file to size bytes (recovery truncates torn tails).
+	Truncate(size int64) error
+	// Sync makes every preceding write durable (and, on publish-style
+	// backends, schedules it for visibility).
+	Sync() error
+	// Name returns the path the file was opened with.
+	Name() string
+}
+
+// Backend is the minimal durable-store surface. Path semantics follow the
+// slash-separated os layout; a flat-namespace backend is free to treat the
+// separator as part of an opaque key (MkdirAll a no-op, List a prefix scan).
+type Backend interface {
+	// Name identifies the backend kind ("osdisk", "objstore", "flaky",
+	// "retry"); wrappers report their own name, Root the chain's base.
+	Name() string
+	// Open opens path with the O* flags above, creating it if OCreate.
+	Open(path string, flags int, perm uint32) (File, error)
+	// ReadFile returns path's full (visible) contents.
+	ReadFile(path string) ([]byte, error)
+	// Rename moves oldpath to newpath. On osdisk it is the atomic commit
+	// primitive; an object store implements it as copy+delete, which is
+	// exactly the weaker publish the paper's relaxed models allow.
+	Rename(oldpath, newpath string) error
+	// Remove deletes path (nil if it does not exist is NOT guaranteed;
+	// callers that want idempotence check IsNotExist).
+	Remove(path string) error
+	// MkdirAll ensures the directory exists (no-op on flat namespaces).
+	MkdirAll(path string) error
+	// List returns the names (not full paths) of entries directly under
+	// dir, sorted. A missing directory lists empty, not an error.
+	List(dir string) ([]string, error)
+	// SyncDir makes a directory's entry table durable after a Rename or
+	// Remove (best effort; flat namespaces no-op).
+	SyncDir(dir string) error
+	// Stat reports path's visible size, or an error satisfying
+	// IsNotExist(err) if the path does not (yet) exist.
+	Stat(path string) (int64, error)
+}
+
+// unwrapper is implemented by wrapper backends (flaky, retry) so helpers
+// can reach the base of the chain.
+type unwrapper interface{ Unwrap() Backend }
+
+// Base walks wrapper chains down to the innermost backend.
+func Base(b Backend) Backend {
+	for {
+		u, ok := b.(unwrapper)
+		if !ok {
+			return b
+		}
+		b = u.Unwrap()
+	}
+}
+
+// laggy is implemented by backends whose writes publish with a delay.
+type laggy interface{ PublishLag() time.Duration }
+
+// PublishLag returns the longest time a Sync'd write on b (or any backend
+// it wraps) can take to become visible to readers. Zero for read-your-
+// writes backends like osdisk.
+func PublishLag(b Backend) time.Duration {
+	var max time.Duration
+	for {
+		if l, ok := b.(laggy); ok {
+			if d := l.PublishLag(); d > max {
+				max = d
+			}
+		}
+		u, ok := b.(unwrapper)
+		if !ok {
+			return max
+		}
+		b = u.Unwrap()
+	}
+}
+
+// Settle blocks until every write already published to b is visible —
+// recovery calls it before trusting a List. On an eventual backend this is
+// a real wait for the visibility horizon to pass; on osdisk it returns
+// immediately. It is the honest version of "read repair": recovery does not
+// peek behind the visibility rule, it waits the rule out.
+func Settle(b Backend) {
+	if lag := PublishLag(b); lag > 0 {
+		time.Sleep(lag + time.Millisecond)
+	}
+}
+
+// IsNotExist reports whether err means "no such file" on any backend.
+func IsNotExist(err error) bool {
+	return errors.Is(err, errNotExist) || osIsNotExist(err)
+}
+
+// errNotExist is the backend-neutral not-exist sentinel non-os backends
+// return.
+var errNotExist = errors.New("storage: file does not exist")
+
+// WriteFileAtomic publishes data at path via the backend's strongest
+// whole-file commit: write a sibling temp object, Sync it, Rename it over
+// path, SyncDir the parent. On osdisk this is the classic write-temp →
+// fsync → rename discipline; on an object store the rename is copy+delete,
+// so the commit is only as atomic as the store's semantics allow — which is
+// the point of running the harnesses against it.
+func WriteFileAtomic(b Backend, path string, data []byte) error {
+	dir, base := splitPath(path)
+	tmp := joinPath(dir, ".tmp-"+base+"-"+uniqueSuffix())
+	f, err := b.Open(tmp, OCreate|OWronly|OTrunc, 0o644)
+	if err != nil {
+		return err
+	}
+	if _, err := f.Write(data); err != nil {
+		f.Close()
+		b.Remove(tmp)
+		return err
+	}
+	if err := f.Sync(); err != nil {
+		f.Close()
+		b.Remove(tmp)
+		return err
+	}
+	if err := f.Close(); err != nil {
+		b.Remove(tmp)
+		return err
+	}
+	if err := b.Rename(tmp, path); err != nil {
+		b.Remove(tmp)
+		return err
+	}
+	return b.SyncDir(dir)
+}
+
+// TempDir creates a fresh private directory on b and returns its path. On
+// osdisk it is a real os.MkdirTemp dir; on flat-namespace backends it is a
+// process-unique key prefix (MkdirAll being a no-op there).
+func TempDir(b Backend, pattern string) (string, error) {
+	if _, ok := Base(b).(osdisk); ok {
+		return osMkdirTemp(pattern)
+	}
+	dir := pattern + uniqueSuffix()
+	return dir, b.MkdirAll(dir)
+}
+
+// RemoveAll removes every entry under dir plus dir itself, best effort.
+// On an eventually-consistent backend it first waits out the publish
+// horizon: a List taken inside the visibility window would miss
+// freshly-published versions and leak them past the cleanup.
+func RemoveAll(b Backend, dir string) error {
+	if _, ok := Base(b).(osdisk); ok {
+		return osRemoveAll(dir)
+	}
+	Settle(b)
+	names, err := b.List(dir)
+	if err != nil {
+		return err
+	}
+	var first error
+	for _, name := range names {
+		p := joinPath(dir, name)
+		err := b.Remove(p)
+		if err != nil && !IsNotExist(err) {
+			// Maybe a subdirectory: recurse once before giving up.
+			if rerr := RemoveAll(b, p); rerr != nil && first == nil {
+				first = err
+			}
+		}
+	}
+	if err := b.Remove(dir); err != nil && !IsNotExist(err) && first == nil {
+		first = err
+	}
+	return first
+}
+
+func splitPath(path string) (dir, base string) {
+	i := strings.LastIndexByte(path, '/')
+	if i < 0 {
+		return ".", path
+	}
+	if i == 0 {
+		return "/", path[1:]
+	}
+	return path[:i], path[i+1:]
+}
+
+func joinPath(dir, name string) string {
+	if dir == "" || dir == "." {
+		return name
+	}
+	if strings.HasSuffix(dir, "/") {
+		return dir + name
+	}
+	return dir + "/" + name
+}
+
+func sortedNames(set map[string]bool) []string {
+	out := make([]string, 0, len(set))
+	for n := range set {
+		out = append(out, n)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// ParseSpec builds a backend from a CLI -backend spec:
+//
+//	osdisk
+//	objstore                         (default 25ms visibility delay)
+//	objstore:delay=5ms
+//	objstore:root=/tmp/store         (persistent root, for cross-process runs)
+//	flaky:seed=3                     (flaky over osdisk)
+//	flaky:base=objstore,seed=3,count=8,delay=5ms,kinds=transient
+//
+// Every backend is returned bare; callers that want the retry/degrade
+// policy wrap the result with Retry themselves (the CLIs do).
+func ParseSpec(spec string) (Backend, error) {
+	kind, args, _ := strings.Cut(spec, ":")
+	opts := map[string]string{}
+	if args != "" {
+		for _, kv := range strings.Split(args, ",") {
+			k, v, ok := strings.Cut(kv, "=")
+			if !ok {
+				return nil, fmt.Errorf("storage: backend spec %q: want key=value, got %q", spec, kv)
+			}
+			opts[strings.TrimSpace(k)] = strings.TrimSpace(v)
+		}
+	}
+	delay := 25 * time.Millisecond
+	if v, ok := opts["delay"]; ok {
+		d, err := time.ParseDuration(v)
+		if err != nil {
+			return nil, fmt.Errorf("storage: backend spec %q: delay: %w", spec, err)
+		}
+		delay = d
+	}
+	switch kind {
+	case "", "osdisk":
+		return OS(), nil
+	case "objstore":
+		return NewObjStore(ObjStoreOptions{Root: opts["root"], VisibilityDelay: delay}), nil
+	case "flaky":
+		var base Backend
+		switch opts["base"] {
+		case "", "osdisk":
+			base = OS()
+		case "objstore":
+			base = NewObjStore(ObjStoreOptions{Root: opts["root"], VisibilityDelay: delay})
+		default:
+			return nil, fmt.Errorf("storage: backend spec %q: unknown base %q", spec, opts["base"])
+		}
+		var seed uint64 = 1
+		if v, ok := opts["seed"]; ok {
+			if _, err := fmt.Sscanf(v, "%d", &seed); err != nil {
+				return nil, fmt.Errorf("storage: backend spec %q: seed: %w", spec, err)
+			}
+		}
+		count := 0
+		if v, ok := opts["count"]; ok {
+			if _, err := fmt.Sscanf(v, "%d", &count); err != nil {
+				return nil, fmt.Errorf("storage: backend spec %q: count: %w", spec, err)
+			}
+		}
+		gen := GenOptions{Count: count}
+		if v, ok := opts["kinds"]; ok {
+			switch v {
+			case "transient":
+				gen.Kinds = []FaultKind{FaultLatency, FaultTransient}
+			case "all":
+			default:
+				return nil, fmt.Errorf("storage: backend spec %q: kinds must be transient|all", spec)
+			}
+		}
+		return NewFlaky(base, GenSchedule(seed, gen)), nil
+	default:
+		return nil, fmt.Errorf("storage: unknown backend %q (want osdisk|objstore|flaky)", kind)
+	}
+}

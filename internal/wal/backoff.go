@@ -1,57 +1,10 @@
 package wal
 
-import "repro/internal/sim"
+import "repro/internal/storage"
 
-// Backoff computes the delay before drain retry attempt n (0-based) after a
-// transient pfs fault. The nominal delay grows geometrically from BaseNS by
-// Multiplier, saturating at CapNS; deterministic jitter then spreads
-// retries across [¾·nominal, 5⁄4·nominal] — i.e. jitter is bounded by
-// ±25% of the nominal delay. Delay is a pure function of (Seed, attempt):
-// it derives a fresh splitmix64 stream per attempt instead of mutating
-// shared RNG state, so concurrent drainers with the same seed see the same
-// schedule regardless of interleaving — the property the faults package
-// tests lean on.
-type Backoff struct {
-	BaseNS     uint64 // first-retry nominal delay; default 100µs
-	Multiplier uint64 // geometric growth per attempt; default 2
-	CapNS      uint64 // nominal-delay ceiling; default ~1s
-	Seed       uint64 // jitter stream identity; default 1
-}
-
-func (b Backoff) withDefaults() Backoff {
-	if b.BaseNS == 0 {
-		b.BaseNS = 100_000
-	}
-	if b.Multiplier == 0 {
-		b.Multiplier = 2
-	}
-	if b.CapNS == 0 {
-		b.CapNS = 1 << 30
-	}
-	if b.Seed == 0 {
-		b.Seed = 1
-	}
-	return b
-}
-
-// Delay returns the jittered backoff for the given attempt, in nanoseconds.
-func (b Backoff) Delay(attempt int) uint64 {
-	b = b.withDefaults()
-	if attempt < 0 {
-		attempt = 0
-	}
-	d := b.BaseNS
-	for i := 0; i < attempt; i++ {
-		if d >= b.CapNS/b.Multiplier {
-			d = b.CapNS
-			break
-		}
-		d *= b.Multiplier
-	}
-	if d > b.CapNS {
-		d = b.CapNS
-	}
-	// j ∈ [0, d/2]; delay = d - d/4 + j ∈ [d - d/4, d + d/4].
-	j := sim.NewRNG(b.Seed).Split(uint64(attempt)).Uint64() % (d/2 + 1)
-	return d - d/4 + j
-}
+// Backoff is an alias of storage.Backoff: the deterministic jittered
+// exponential retry schedule moved down to the storage seam (whose policy
+// layer shares it with the WAL drainer); the wal name survives so existing
+// callers and the faults-package property tests keep compiling unchanged.
+// Delay remains a pure function of (Seed, attempt) — see storage/backoff.go.
+type Backoff = storage.Backoff

@@ -1,12 +1,10 @@
 package wal
 
 import (
-	"bufio"
 	"bytes"
 	"crypto/sha256"
 	"errors"
 	"fmt"
-	"os"
 	"path/filepath"
 	"sort"
 	"strings"
@@ -15,6 +13,7 @@ import (
 
 	"repro/internal/consistency"
 	"repro/internal/pfs"
+	"repro/internal/storage"
 )
 
 // BurstPath is the single shared checkpoint file every burst rank writes.
@@ -38,6 +37,9 @@ type BurstSpec struct {
 }
 
 func (s BurstSpec) withDefaults() BurstSpec {
+	if s.Log.Backend == nil {
+		s.Log.Backend = storage.OS()
+	}
 	if s.Ranks <= 0 {
 		s.Ranks = 4
 	}
@@ -88,16 +90,25 @@ type BurstResult struct {
 // RunBurst executes the burst through per-rank WALs against one fresh pfs,
 // recording the op history and checking it against the model's formal spec.
 // After each acknowledged write the rank appends the record index to a
-// plain ack file; under SIGKILL completed file writes survive in the page
-// cache, so the ack files are a trustworthy floor on what recovery must
-// return — the "zero acked writes lost" half of the harness. Safe to
-// SIGKILL at any point (that is its purpose); everything it needs for
-// recovery lives under spec.Log.Dir.
+// plain ack file; on osdisk completed file writes survive SIGKILL in the
+// page cache, and on every other backend each ack line is Sync'd before the
+// next write issues, so the ack files are a trustworthy floor on what
+// recovery must return — the "zero acked writes lost" half of the harness.
+// Safe to SIGKILL at any point (that is its purpose); everything it needs
+// for recovery lives under spec.Log.Dir on spec.Log.Backend.
 func RunBurst(spec BurstSpec) (*BurstResult, error) {
 	spec = spec.withDefaults()
 	if spec.Log.Dir == "" {
 		return nil, errors.New("wal: burst needs Log.Dir (recovery root)")
 	}
+	sb := spec.Log.Backend
+	if err := sb.MkdirAll(spec.Log.Dir); err != nil {
+		return nil, fmt.Errorf("wal: %w", err)
+	}
+	// On osdisk an un-synced append is still crash-durable enough for the
+	// floor argument (page cache outlives SIGKILL); weaker backends only
+	// make a write recoverable at Sync, so the floor must pay for it.
+	syncAcks := storage.Base(sb).Name() != "osdisk"
 	fs := pfs.New(pfs.Options{Semantics: spec.Semantics})
 	hist := consistency.NewLog()
 	fs.SetHistoryRecorder(hist)
@@ -117,8 +128,8 @@ func RunBurst(spec BurstSpec) (*BurstResult, error) {
 					return err
 				}
 				defer func() { stats[r] = l.Stats() }()
-				ack, err := os.OpenFile(filepath.Join(spec.Log.Dir, ackName(r)),
-					os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+				ack, err := sb.Open(filepath.Join(spec.Log.Dir, ackName(r)),
+					storage.OCreate|storage.OWronly|storage.OAppend, 0o644)
 				if err != nil {
 					l.Close()
 					return err
@@ -135,6 +146,11 @@ func RunBurst(spec BurstSpec) (*BurstResult, error) {
 						break
 					}
 					fmt.Fprintf(ack, "%d\n", k)
+					if syncAcks {
+						if err := ack.Sync(); err != nil {
+							break
+						}
+					}
 					if (k+1)%spec.CommitEvery == 0 {
 						if _, err := l.Commit(h, now()); err != nil {
 							break
@@ -173,38 +189,39 @@ func RunBurst(spec BurstSpec) (*BurstResult, error) {
 }
 
 // readAcks returns the per-rank count of acknowledged records from the
-// burst's ack files (0 for a rank with no file).
-func readAcks(dir string, ranks int) ([]int, error) {
-	counts := make([]int, ranks)
+// burst's ack files, plus a per-rank flag distinguishing a zero-length ack
+// file (rank started, acked nothing — an explicit floor of 0) from a
+// missing one (rank never got as far as opening it). Both floors are 0, but
+// conflating them hid a class of harness bugs where a rank silently never
+// ran; the recovery report now states which case each rank is in.
+func readAcks(b storage.Backend, dir string, ranks int) (counts []int, present []bool, err error) {
+	counts = make([]int, ranks)
+	present = make([]bool, ranks)
 	for r := 0; r < ranks; r++ {
-		f, err := os.Open(filepath.Join(dir, ackName(r)))
+		data, err := b.ReadFile(filepath.Join(dir, ackName(r)))
 		if err != nil {
-			if os.IsNotExist(err) {
+			if storage.IsNotExist(err) {
 				continue
 			}
-			return nil, err
+			return nil, nil, err
 		}
-		sc := bufio.NewScanner(f)
-		for sc.Scan() {
-			if strings.TrimSpace(sc.Text()) != "" {
+		present[r] = true
+		for _, line := range strings.Split(string(data), "\n") {
+			if strings.TrimSpace(line) != "" {
 				counts[r]++
 			}
 		}
-		err = sc.Err()
-		f.Close()
-		if err != nil {
-			return nil, err
-		}
 	}
-	return counts, nil
+	return counts, present, nil
 }
 
 // RecoveryReport is the outcome of RecoverBurst, formatted into the
 // `semrepro -wal-recover` artifact.
 type RecoveryReport struct {
 	Spec      BurstSpec
-	PerRank   []int // recovered record count per rank
-	Acked     []int // ack-file floor per rank
+	PerRank   []int  // recovered record count per rank
+	Acked     []int  // ack-file floor per rank
+	AckFiles  []bool // ack file present (possibly zero-length) per rank
 	Records   int
 	Dropped   int   // torn-tail records discarded (≤1 per rank)
 	TailBytes int64 // torn-tail bytes truncated
@@ -227,15 +244,15 @@ func RecoverBurst(spec BurstSpec) (*RecoveryReport, error) {
 	if spec.Log.Dir == "" {
 		return nil, errors.New("wal: recovery needs Log.Dir")
 	}
-	recs, stats, err := RecoverDir(spec.Log.Dir)
+	recs, stats, err := RecoverDirOn(spec.Log.Backend, spec.Log.Dir)
 	if err != nil {
 		return nil, err
 	}
-	acked, err := readAcks(spec.Log.Dir, spec.Ranks)
+	acked, ackFiles, err := readAcks(spec.Log.Backend, spec.Log.Dir, spec.Ranks)
 	if err != nil {
 		return nil, err
 	}
-	rep := &RecoveryReport{Spec: spec, PerRank: make([]int, spec.Ranks), Acked: acked}
+	rep := &RecoveryReport{Spec: spec, PerRank: make([]int, spec.Ranks), Acked: acked, AckFiles: ackFiles}
 	for r := 0; r < spec.Ranks; r++ {
 		rr := recs[r]
 		rep.PerRank[r] = len(rr)
@@ -379,7 +396,11 @@ func FormatReport(rep *RecoveryReport) string {
 	fmt.Fprintf(&b, "wal recovery: semantics=%s ranks=%d recovered %d record(s), dropped=%d torn, tail_bytes=%d\n",
 		rep.Spec.Semantics, rep.Spec.Ranks, rep.Records, rep.Dropped, rep.TailBytes)
 	for r := 0; r < rep.Spec.Ranks; r++ {
-		fmt.Fprintf(&b, "  rank %d: records=%d acked>=%d\n", r, rep.PerRank[r], rep.Acked[r])
+		ackNote := "no ack file"
+		if r < len(rep.AckFiles) && rep.AckFiles[r] {
+			ackNote = "ack file present"
+		}
+		fmt.Fprintf(&b, "  rank %d: records=%d acked>=%d (%s)\n", r, rep.PerRank[r], rep.Acked[r], ackNote)
 	}
 	fmt.Fprintf(&b, "spec check: ACCEPTED (%s, %d events, %d reads)\n",
 		rep.Check.Model, rep.Check.Events, rep.Check.Reads)

@@ -1,9 +1,10 @@
 package wal
 
 import (
-	"os"
 	"sync/atomic"
 	"time"
+
+	"repro/internal/storage"
 )
 
 // KillPointFunc observes a named WAL kill point. The faults package installs
@@ -34,7 +35,7 @@ func hitKillPoint(point string) {
 // fsyncTimed syncs f and records the real durability cost. Host wall time,
 // not simulated: this is the one genuinely nondeterministic instrument in
 // the package, same caveat as ckpt.journal.fsync_ns.
-func fsyncTimed(f *os.File) error {
+func fsyncTimed(f storage.File) error {
 	start := time.Now()
 	err := f.Sync()
 	appendFsyncNS.Observe(time.Since(start).Nanoseconds())

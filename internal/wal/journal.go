@@ -7,7 +7,8 @@ import (
 	"fmt"
 	"hash/crc32"
 	"io"
-	"os"
+
+	"repro/internal/storage"
 )
 
 // On-disk record framing for the host-side write-ahead log. Same shape as
@@ -82,7 +83,7 @@ func decodePayload(payload []byte) (Record, error) {
 // kill-and-recover harness able to manufacture a genuinely torn tail; the
 // before/after-fsync points bracket the durability boundary — a write is
 // acked iff the crash lands after wal.append.after-fsync.
-func appendRecord(f *os.File, rec Record, noFsync bool) (int64, error) {
+func appendRecord(f storage.File, rec Record, noFsync bool) (int64, error) {
 	payload, err := encodePayload(rec)
 	if err != nil {
 		return 0, err

@@ -16,36 +16,54 @@ import (
 	"math/rand"
 	"os"
 	"os/exec"
+	"path/filepath"
 	"syscall"
 	"testing"
 
 	"repro/internal/faults"
 	"repro/internal/pfs"
+	"repro/internal/storage"
 	"repro/internal/wal"
 )
 
 const (
-	walKillDirEnv = "SEMFS_WAL_DIR"
-	walKillSemEnv = "SEMFS_WAL_SEM"
+	walKillDirEnv     = "SEMFS_WAL_DIR"
+	walKillSemEnv     = "SEMFS_WAL_SEM"
+	walKillBackendEnv = "SEMFS_WAL_BACKEND"
 )
 
 // walKillSpec is the burst both sides of the harness agree on; only Log.Dir
-// varies per cell. Small enough that 24 child re-execs stay cheap, large
-// enough that every kill point fires mid-run with records already acked.
-func walKillSpec(dir string, sem pfs.Semantics) wal.BurstSpec {
+// and the storage backend vary per cell. Small enough that the child
+// re-execs stay cheap, large enough that every kill point fires mid-run
+// with records already acked.
+func walKillSpec(dir string, sem pfs.Semantics, b storage.Backend) wal.BurstSpec {
 	return wal.BurstSpec{
 		Semantics:   sem,
 		Ranks:       2,
 		Records:     32,
 		Block:       256,
 		CommitEvery: 8,
-		Log:         wal.Options{Dir: dir},
+		Log:         wal.Options{Dir: dir, Backend: b},
 	}
 }
 
+// killBackend resolves a CLI-style backend spec and wraps it in the retry
+// policy — the same stack `semrepro -backend` runs, so a flaky cell's
+// transient faults are absorbed and the burst keeps appending (and keeps
+// hitting kill points) instead of degrading to write-through.
+func killBackend(t *testing.T, spec string) storage.Backend {
+	t.Helper()
+	b, err := storage.ParseSpec(spec)
+	if err != nil {
+		t.Fatalf("backend spec %q: %v", spec, err)
+	}
+	return storage.NewRetry(b, storage.RetryOptions{})
+}
+
 // TestWALKillRecoverChild is the re-exec'd child body; without the env gate
-// it is skipped. It arms SEMFS_KILL and runs the burst — with a wal.* point
-// armed it must die by SIGKILL before finishing.
+// it is skipped. It arms SEMFS_KILL and runs the burst on the backend named
+// by SEMFS_WAL_BACKEND — with a wal.* point armed it must die by SIGKILL
+// before finishing.
 func TestWALKillRecoverChild(t *testing.T) {
 	dir := os.Getenv(walKillDirEnv)
 	if dir == "" {
@@ -58,7 +76,8 @@ func TestWALKillRecoverChild(t *testing.T) {
 	if err != nil {
 		t.Fatalf("bad %s: %v", walKillSemEnv, err)
 	}
-	res, err := wal.RunBurst(walKillSpec(dir, sem))
+	b := killBackend(t, os.Getenv(walKillBackendEnv))
+	res, err := wal.RunBurst(walKillSpec(dir, sem, b))
 	if err != nil {
 		t.Fatalf("burst: %v", err)
 	}
@@ -67,21 +86,67 @@ func TestWALKillRecoverChild(t *testing.T) {
 	}
 }
 
-func runWALKillChild(t *testing.T, dir, sem, killSpec string) ([]byte, error) {
+func runWALKillChild(t *testing.T, dir, sem, backendSpec, killSpec string) ([]byte, error) {
 	t.Helper()
 	cmd := exec.Command(os.Args[0], "-test.run=^TestWALKillRecoverChild$", "-test.v")
 	cmd.Env = append(os.Environ(),
 		walKillDirEnv+"="+dir,
 		walKillSemEnv+"="+sem,
+		walKillBackendEnv+"="+backendSpec,
 		faults.KillEnv+"="+killSpec,
 	)
 	return cmd.CombinedOutput()
 }
 
+// killCell describes one backend column of the kill matrix: how to derive
+// the child's backend spec, the recovery backend spec (the flaky wrapper is
+// a child-side fault injector — the bytes land on its base, which is what
+// recovery reads), and the burst's Log.Dir from the cell's scratch dir.
+type killCell struct {
+	name        string
+	childSpec   func(scratch string, seed int64) string
+	recoverSpec func(scratch string) string
+	logDir      func(scratch string) string
+}
+
+var killCells = []killCell{
+	{
+		name:        "osdisk",
+		childSpec:   func(scratch string, _ int64) string { return "osdisk" },
+		recoverSpec: func(scratch string) string { return "osdisk" },
+		logDir:      func(scratch string) string { return filepath.Join(scratch, "wal") },
+	},
+	{
+		// The store root is host state shared by both processes: the parent's
+		// fresh objstore instance over the same root sees every version the
+		// killed child managed to publish (after settling the delay).
+		name: "objstore",
+		childSpec: func(scratch string, _ int64) string {
+			return "objstore:root=" + filepath.Join(scratch, "store") + ",delay=5ms"
+		},
+		recoverSpec: func(scratch string) string {
+			return "objstore:root=" + filepath.Join(scratch, "store") + ",delay=5ms"
+		},
+		logDir: func(scratch string) string { return "wal" },
+	},
+	{
+		// Transient-only faults under the retry policy: the burst converges
+		// through the blips, then dies at the kill point like everyone else.
+		// The real bytes live on the flaky backend's osdisk base.
+		name: "flaky",
+		childSpec: func(scratch string, seed int64) string {
+			return fmt.Sprintf("flaky:seed=%d,kinds=transient", seed)
+		},
+		recoverSpec: func(scratch string) string { return "osdisk" },
+		logDir:      func(scratch string) string { return filepath.Join(scratch, "wal") },
+	},
+}
+
 // TestWALKillRecover is the acceptance matrix: every wal.* kill point x
-// every consistency model. Each cell SIGKILLs a burst child at the armed
-// point, then recovery must return every acknowledged write, byte-exact,
-// replaying to spec-accepted, byte-identical state.
+// every consistency model x every storage backend. Each cell SIGKILLs a
+// burst child at the armed point, then recovery must return every
+// acknowledged write, byte-exact, replaying to spec-accepted,
+// byte-identical state.
 func TestWALKillRecover(t *testing.T) {
 	if os.Getenv(walKillDirEnv) != "" {
 		t.Skip("inside a wal kill-and-recover child")
@@ -95,40 +160,50 @@ func TestWALKillRecover(t *testing.T) {
 		"wal.drain.before-publish",
 		"wal.drain.after-publish",
 	}
+	cells := killCells
 	if testing.Short() {
 		semantics = semantics[:2]
 		points = []string{"wal.append.torn", "wal.drain.before-publish"}
+		cells = cells[:2]
 	}
 	for i, sem := range semantics {
 		sem := sem
 		rng := rand.New(rand.NewSource(0x5A1D + int64(i)))
 		t.Run(sem.String(), func(t *testing.T) {
 			t.Parallel()
-			for _, point := range points {
-				// Seeded hit count: deep enough that acked records exist,
-				// shallow enough the burst cannot finish first.
-				kill := fmt.Sprintf("%s:%d", point, 2+rng.Intn(10))
-				dir := t.TempDir()
+			for _, cell := range cells {
+				for _, point := range points {
+					// Seeded hit count: deep enough that acked records exist,
+					// shallow enough the burst cannot finish first.
+					kill := fmt.Sprintf("%s:%d", point, 2+rng.Intn(10))
+					scratch := t.TempDir()
+					dir := cell.logDir(scratch)
+					childSpec := cell.childSpec(scratch, 1+rng.Int63n(1<<20))
 
-				out, err := runWALKillChild(t, dir, sem.String(), kill)
-				if err == nil {
-					t.Fatalf("child armed with %s completed instead of dying\n%s", kill, out)
-				}
-				ee, isExit := err.(*exec.ExitError)
-				if !isExit {
-					t.Fatalf("child armed with %s: %v\n%s", kill, err, out)
-				}
-				ws, isWait := ee.Sys().(syscall.WaitStatus)
-				if !isWait || !ws.Signaled() || ws.Signal() != syscall.SIGKILL {
-					t.Fatalf("child armed with %s did not die by SIGKILL: %v\n%s", kill, err, out)
-				}
+					out, err := runWALKillChild(t, dir, sem.String(), childSpec, kill)
+					if err == nil {
+						t.Fatalf("[%s] child armed with %s completed instead of dying\n%s", cell.name, kill, out)
+					}
+					ee, isExit := err.(*exec.ExitError)
+					if !isExit {
+						t.Fatalf("[%s] child armed with %s: %v\n%s", cell.name, kill, err, out)
+					}
+					ws, isWait := ee.Sys().(syscall.WaitStatus)
+					if !isWait || !ws.Signaled() || ws.Signal() != syscall.SIGKILL {
+						t.Fatalf("[%s] child armed with %s did not die by SIGKILL: %v\n%s", cell.name, kill, err, out)
+					}
 
-				rep, err := wal.RecoverBurst(walKillSpec(dir, sem))
-				if err != nil {
-					t.Fatalf("recovery after %s: %v", kill, err)
+					rb, err := storage.ParseSpec(cell.recoverSpec(scratch))
+					if err != nil {
+						t.Fatal(err)
+					}
+					rep, err := wal.RecoverBurst(walKillSpec(dir, sem, rb))
+					if err != nil {
+						t.Fatalf("[%s] recovery after %s: %v", cell.name, kill, err)
+					}
+					t.Logf("[%s] kill=%s: recovered %d record(s) (%v, acked floor %v, dropped %d torn)",
+						cell.name, kill, rep.Records, rep.PerRank, rep.Acked, rep.Dropped)
 				}
-				t.Logf("kill=%s: recovered %d record(s) (%v, acked floor %v, dropped %d torn)",
-					kill, rep.Records, rep.PerRank, rep.Acked, rep.Dropped)
 			}
 		})
 	}

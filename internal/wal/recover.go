@@ -2,32 +2,51 @@ package wal
 
 import (
 	"fmt"
-	"os"
 	"path/filepath"
 	"sort"
+	"strings"
 
 	"repro/internal/pfs"
+	"repro/internal/storage"
 )
 
-// RecoverDir salvages every per-rank log file under dir. The returned
-// records are, per rank, every write that was ever acknowledged (logs are
-// append-only and never truncated while live, so drained records remain —
-// replaying one is an idempotent same-bytes overwrite). A torn tail on any
-// file is a write that was never acknowledged; it is dropped and counted.
+// RecoverDir salvages every per-rank log file under dir on the local OS
+// disk. See RecoverDirOn.
 func RecoverDir(dir string) (map[int][]Record, map[int]RecoverStats, error) {
-	matches, err := filepath.Glob(filepath.Join(dir, "rank-*.wal"))
+	return RecoverDirOn(storage.OS(), dir)
+}
+
+// RecoverDirOn salvages every per-rank log file under dir on backend b. The
+// returned records are, per rank, every write that was ever acknowledged
+// (logs are append-only and never truncated while live, so drained records
+// remain — replaying one is an idempotent same-bytes overwrite). A torn
+// tail on any file is a write that was never acknowledged; it is dropped
+// and counted. A zero-length log file is a rank that opened its log but was
+// killed before the first acked append: it recovers as an explicit empty
+// record list, distinct from a rank with no log file at all (no map entry).
+//
+// On an eventually-consistent backend, recovery first waits out the
+// publish-visibility horizon (storage.Settle) so the List and the reads see
+// every version a crashed writer managed to publish.
+func RecoverDirOn(b storage.Backend, dir string) (map[int][]Record, map[int]RecoverStats, error) {
+	storage.Settle(b)
+	names, err := b.List(dir)
 	if err != nil {
-		return nil, nil, err
+		return nil, nil, fmt.Errorf("wal: %w", err)
 	}
-	sort.Strings(matches)
+	sort.Strings(names)
 	recs := make(map[int][]Record)
 	stats := make(map[int]RecoverStats)
-	for _, path := range matches {
+	for _, name := range names {
 		var rank int
-		if _, err := fmt.Sscanf(filepath.Base(path), "rank-%d.wal", &rank); err != nil {
+		if !strings.HasSuffix(name, ".wal") {
 			continue
 		}
-		f, err := os.Open(path)
+		if _, err := fmt.Sscanf(name, "rank-%d.wal", &rank); err != nil {
+			continue
+		}
+		path := filepath.Join(dir, name)
+		f, err := b.Open(path, storage.ORdonly, 0)
 		if err != nil {
 			return nil, nil, fmt.Errorf("wal: %w", err)
 		}
@@ -35,6 +54,9 @@ func RecoverDir(dir string) (map[int][]Record, map[int]RecoverStats, error) {
 		f.Close()
 		if err != nil {
 			return nil, nil, fmt.Errorf("wal: recovering %s: %w", path, err)
+		}
+		if r == nil {
+			r = []Record{} // zero-length log: present but empty, not missing
 		}
 		recs[rank] = r
 		stats[rank] = s

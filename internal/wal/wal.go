@@ -21,7 +21,6 @@ package wal
 import (
 	"errors"
 	"fmt"
-	"os"
 	"path/filepath"
 	"runtime"
 	"sync"
@@ -29,6 +28,7 @@ import (
 
 	"repro/internal/obs"
 	"repro/internal/pfs"
+	"repro/internal/storage"
 )
 
 // Options configures one per-rank Log.
@@ -37,6 +37,9 @@ type Options struct {
 	// private temp dir removed on Close — right for benchmarks; crash
 	// recovery needs a caller-owned Dir that survives the process.
 	Dir string
+	// Backend is the durable store holding the log files. Nil means the
+	// local OS disk (storage.OS()), byte-identical to the pre-seam layout.
+	Backend storage.Backend
 	// MaxInflight bounds how many queued records one background drain batch
 	// replays per lock hold. Default 16.
 	MaxInflight int
@@ -61,6 +64,9 @@ type Options struct {
 }
 
 func (o Options) withDefaults() Options {
+	if o.Backend == nil {
+		o.Backend = storage.OS()
+	}
 	if o.MaxInflight <= 0 {
 		o.MaxInflight = 16
 	}
@@ -70,7 +76,7 @@ func (o Options) withDefaults() Options {
 	if o.MaxRetries <= 0 {
 		o.MaxRetries = 6
 	}
-	o.Retry = o.Retry.withDefaults()
+	o.Retry = o.Retry.WithDefaults()
 	if o.AckBaseNS == 0 {
 		o.AckBaseNS = 1500
 	}
@@ -116,7 +122,7 @@ type Log struct {
 	opts    Options
 	dir     string
 	ownsDir bool
-	file    *os.File
+	file    storage.File
 
 	mu       sync.Mutex
 	cond     *sync.Cond
@@ -139,16 +145,16 @@ func Open(rank int, opts Options) (*Log, error) {
 	dir := opts.Dir
 	ownsDir := false
 	if dir == "" {
-		d, err := os.MkdirTemp("", "semfs-wal-")
+		d, err := storage.TempDir(opts.Backend, "semfs-wal-")
 		if err != nil {
 			return nil, fmt.Errorf("wal: temp dir: %w", err)
 		}
 		dir, ownsDir = d, true
-	} else if err := os.MkdirAll(dir, 0o755); err != nil {
+	} else if err := opts.Backend.MkdirAll(dir); err != nil {
 		return nil, fmt.Errorf("wal: %w", err)
 	}
 	path := filepath.Join(dir, logName(rank))
-	f, err := os.OpenFile(path, os.O_CREATE|os.O_RDWR, 0o644)
+	f, err := opts.Backend.Open(path, storage.OCreate|storage.ORdwr, 0o644)
 	if err != nil {
 		return nil, fmt.Errorf("wal: %w", err)
 	}
@@ -475,7 +481,7 @@ func (l *Log) Close() error {
 		err = ferr
 	}
 	if l.ownsDir {
-		os.RemoveAll(l.dir)
+		storage.RemoveAll(l.opts.Backend, l.dir)
 	}
 	return err
 }

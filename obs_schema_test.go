@@ -20,6 +20,7 @@ import (
 	_ "repro/internal/obs/live"
 	_ "repro/internal/pfs"
 	_ "repro/internal/recorder"
+	_ "repro/internal/storage"
 	_ "repro/internal/wal"
 )
 

@@ -30,6 +30,7 @@ import (
 	"repro/internal/pfs"
 	"repro/internal/recorder"
 	"repro/internal/report"
+	"repro/internal/storage"
 )
 
 // Semantics re-exports the PFS consistency models of Section 3.
@@ -293,8 +294,19 @@ type Trace = recorder.Trace
 // SaveTrace persists a trace as a directory of per-rank binary streams.
 func SaveTrace(dir string, tr *recorder.Trace) error { return recorder.SaveDir(dir, tr) }
 
+// SaveTraceOn is SaveTrace against an explicit storage backend (see
+// internal/storage.ParseSpec for backend construction).
+func SaveTraceOn(b storage.Backend, dir string, tr *recorder.Trace) error {
+	return recorder.SaveDirOn(b, dir, tr)
+}
+
 // LoadTrace loads a trace written by SaveTrace.
 func LoadTrace(dir string) (*recorder.Trace, error) { return recorder.LoadDir(dir) }
+
+// LoadTraceOn is LoadTrace against an explicit storage backend.
+func LoadTraceOn(b storage.Backend, dir string) (*recorder.Trace, error) {
+	return recorder.LoadDirOn(b, dir)
+}
 
 // Salvage re-exports the degraded-mode load report (see LoadTraceLenient).
 type Salvage = recorder.Salvage
@@ -306,6 +318,12 @@ type Salvage = recorder.Salvage
 // metadata is unusable or no records survive at all.
 func LoadTraceLenient(dir string) (*recorder.Trace, *Salvage, error) {
 	return recorder.LoadDirLenient(dir)
+}
+
+// LoadTraceLenientOn is LoadTraceLenient against an explicit storage
+// backend.
+func LoadTraceLenientOn(b storage.Backend, dir string) (*recorder.Trace, *Salvage, error) {
+	return recorder.LoadDirLenientOn(b, dir)
 }
 
 // Ctx is the per-rank context handed to custom application bodies.
