@@ -31,11 +31,15 @@ import (
 	"strings"
 )
 
-// Bench is one benchmark's measured values.
+// Bench is one benchmark's measured values. Extra holds custom
+// b.ReportMetric units (MB/s, records/s, ...): they are recorded in the
+// baseline and reported on comparison but never gated — throughput numbers
+// do not transfer across hosts and exist to document the measured headroom.
 type Bench struct {
-	NsPerOp     float64 `json:"ns_per_op"`
-	BytesPerOp  float64 `json:"bytes_per_op"`
-	AllocsPerOp float64 `json:"allocs_per_op"`
+	NsPerOp     float64            `json:"ns_per_op"`
+	BytesPerOp  float64            `json:"bytes_per_op"`
+	AllocsPerOp float64            `json:"allocs_per_op"`
+	Extra       map[string]float64 `json:"extra,omitempty"`
 }
 
 // Baseline is the checked-in benchmark baseline file.
@@ -89,13 +93,21 @@ func parse(lines []string) map[string]Bench {
 			if err != nil {
 				continue
 			}
-			switch fields[i+1] {
+			switch unit := fields[i+1]; unit {
 			case "ns/op":
 				b.NsPerOp, seen = v, true
 			case "B/op":
 				b.BytesPerOp, seen = v, true
 			case "allocs/op":
 				b.AllocsPerOp, seen = v, true
+			default:
+				if !strings.Contains(unit, "/") {
+					continue // iteration counts, stray numbers
+				}
+				if b.Extra == nil {
+					b.Extra = map[string]float64{}
+				}
+				b.Extra[unit], seen = v, true
 			}
 		}
 		if seen {
@@ -238,6 +250,18 @@ func main() {
 		check("allocs/op", worse(b.AllocsPerOp, got.AllocsPerOp), *threshold)
 		check("B/op", worse(b.BytesPerOp, got.BytesPerOp), *threshold)
 		check("ns/op", worse(b.NsPerOp, got.NsPerOp), *nsThreshold)
+		// Extra metrics (MB/s, records/s, ...) are informational only.
+		units := make([]string, 0, len(b.Extra))
+		for unit := range b.Extra {
+			units = append(units, unit)
+		}
+		sort.Strings(units)
+		for _, unit := range units {
+			if cur, ok := got.Extra[unit]; ok {
+				fmt.Fprintf(os.Stderr, "benchgate: info %s: %s %.4g (baseline %.4g, not gated)\n",
+					name, unit, cur, b.Extra[unit])
+			}
+		}
 	}
 	if failed {
 		os.Exit(1)

@@ -12,18 +12,30 @@ func TestParseBenchOutput(t *testing.T) {
 		"goos: linux",
 		"BenchmarkAnalyze-8   \t     100\t  11093 ns/op\t  2048 B/op\t      12 allocs/op",
 		"BenchmarkNoMem-8     \t    5000\t    321 ns/op",
+		"BenchmarkDecode-8    \t       2\t  48995 ns/op\t 208.20 MB/s\t 20410659 records/s\t  328 B/op\t  10 allocs/op",
 		"PASS",
 	}
 	got := parse(lines)
-	if len(got) != 2 {
-		t.Fatalf("parsed %d benchmarks, want 2", len(got))
+	if len(got) != 3 {
+		t.Fatalf("parsed %d benchmarks, want 3", len(got))
 	}
 	b := got["BenchmarkAnalyze"]
 	if b.NsPerOp != 11093 || b.BytesPerOp != 2048 || b.AllocsPerOp != 12 {
 		t.Fatalf("BenchmarkAnalyze = %+v", b)
 	}
+	if b.Extra != nil {
+		t.Fatalf("BenchmarkAnalyze grew extra metrics: %+v", b.Extra)
+	}
 	if got["BenchmarkNoMem"].NsPerOp != 321 {
 		t.Fatalf("BenchmarkNoMem = %+v", got["BenchmarkNoMem"])
+	}
+	// Custom b.ReportMetric units land in Extra, standard units stay typed.
+	d := got["BenchmarkDecode"]
+	if d.BytesPerOp != 328 || d.AllocsPerOp != 10 {
+		t.Fatalf("BenchmarkDecode = %+v", d)
+	}
+	if d.Extra["MB/s"] != 208.20 || d.Extra["records/s"] != 20410659 {
+		t.Fatalf("BenchmarkDecode extra metrics = %+v", d.Extra)
 	}
 }
 

@@ -106,15 +106,18 @@ func run() (code int) {
 			}
 		}
 	}()
+	// The load is sharded across the same worker pool as the analysis:
+	// rank files decode in parallel regardless of format (columnar or v1,
+	// sniffed per file).
 	var tr *semfs.Trace
 	if *lenient {
 		var sal *semfs.Salvage
-		tr, sal, err = semfs.LoadTraceLenientOn(backend, *dir)
+		tr, sal, err = semfs.LoadTraceLenientOn(backend, *dir, *workers)
 		if sal != nil {
 			fmt.Println(sal)
 		}
 	} else {
-		tr, err = semfs.LoadTraceOn(backend, *dir)
+		tr, err = semfs.LoadTraceOn(backend, *dir, *workers)
 	}
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "semanalyze:", err)

@@ -5,7 +5,13 @@
 // Usage:
 //
 //	semtrace -app FLASH-nofbs -ranks 64 -ppn 8 -out trace/
+//	semtrace -app FLASH-nofbs -out trace/ -format v1
+//	semtrace -convert oldtrace/ -out newtrace/ -format columnar
 //	semtrace -list
+//
+// Traces are written in the columnar format by default; -format v1 keeps
+// the record-framed v1 format for old readers. -convert rewrites an
+// existing trace directory (either format) into -format at -out.
 package main
 
 import (
@@ -35,6 +41,9 @@ func run() (code int) {
 		semantics = flag.String("semantics", "strong", "PFS consistency model: strong|commit|session|eventual")
 		verify    = flag.Bool("verify", false, "verify read data (surfaces stale reads on weak PFSs)")
 		out       = flag.String("out", "", "output trace directory (omit for a dry run)")
+		format    = flag.String("format", "columnar", "on-disk trace format for -out: columnar|v1")
+		convert   = flag.String("convert", "", "rewrite this existing trace directory into -format at -out instead of running an app")
+		workers   = flag.Int("workers", 0, "parallel rank decode workers for -convert (0 = GOMAXPROCS)")
 		spec      = flag.String("backend", "osdisk", "durable storage backend for -out traces: osdisk | objstore[:delay=D,root=DIR] | flaky[:...]")
 		tele      obs.CLIFlags
 	)
@@ -58,6 +67,31 @@ func run() (code int) {
 			desc, _ := semfs.Describe(name)
 			fmt.Printf("%-20s %s\n", name, desc)
 		}
+		return 0
+	}
+	tf, err := semfs.ParseTraceFormat(*format)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "semtrace: -format:", err)
+		return 2
+	}
+	if *convert != "" {
+		if *out == "" {
+			fmt.Fprintln(os.Stderr, "semtrace: -convert requires -out")
+			return 2
+		}
+		backend, err := storage.ParseSpec(*spec)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "semtrace: -backend:", err)
+			return 2
+		}
+		backend = storage.NewRetry(backend, storage.RetryOptions{})
+		tr, err := semfs.ConvertTraceOn(backend, *convert, *out, tf, *workers)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "semtrace:", err)
+			return 1
+		}
+		fmt.Printf("converted %s (%d records) to %s format at %s\n",
+			*convert, tr.NumRecords(), tf, *out)
 		return 0
 	}
 	if *app == "" {
@@ -89,11 +123,11 @@ func run() (code int) {
 			return 2
 		}
 		backend = storage.NewRetry(backend, storage.RetryOptions{})
-		if err := semfs.SaveTraceOn(backend, *out, res.Trace); err != nil {
+		if err := semfs.SaveTraceFormatOn(backend, *out, res.Trace, tf); err != nil {
 			fmt.Fprintln(os.Stderr, "semtrace:", err)
 			return 1
 		}
-		fmt.Printf("trace written to %s\n", *out)
+		fmt.Printf("trace written to %s (%s format)\n", *out, tf)
 	}
 	if len(res.RankErrors) > 0 {
 		return 1

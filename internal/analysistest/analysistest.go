@@ -9,6 +9,7 @@ package analysistest
 
 import (
 	"fmt"
+	"path/filepath"
 	"reflect"
 	"testing"
 
@@ -16,6 +17,9 @@ import (
 	"repro/internal/core"
 	"repro/internal/pfs"
 	"repro/internal/recorder"
+	"repro/internal/recorder/colfmt"
+	"repro/internal/report"
+	"repro/internal/storage"
 )
 
 // DefaultWorkerCounts covers the interesting pool shapes: GOMAXPROCS (0),
@@ -118,6 +122,91 @@ func indexOf(m pfs.Semantics) int {
 		}
 	}
 	panic("model not in AllModels")
+}
+
+// CheckFormats is the on-disk format equivalence gate: tr is saved in the
+// columnar and v1 formats plus both convert round trips, reloaded at every
+// worker count, and each reload must carry byte-identical records (the
+// strict v1 load is the disk oracle) and produce a byte-identical analysis
+// and rendered report. The columnar directory is additionally consumed
+// through the zero-copy cursor path (colfmt.OpenDirOn → core.ExtractCursors)
+// which must reproduce the materializing extraction exactly.
+func CheckFormats(t testing.TB, label string, tr *recorder.Trace, workerCounts ...int) {
+	t.Helper()
+	if len(workerCounts) == 0 {
+		workerCounts = DefaultWorkerCounts
+	}
+	base := t.TempDir()
+	dirs := []struct{ name, path string }{
+		{"v1", filepath.Join(base, "v1")},
+		{"columnar", filepath.Join(base, "col")},
+		{"v1-to-columnar", filepath.Join(base, "conv-col")},
+		{"columnar-to-v1", filepath.Join(base, "conv-v1")},
+	}
+	if err := semfs.SaveTraceFormat(dirs[0].path, tr, semfs.FormatV1); err != nil {
+		t.Fatalf("%s: saving v1: %v", label, err)
+	}
+	if err := semfs.SaveTraceFormat(dirs[1].path, tr, semfs.FormatColumnar); err != nil {
+		t.Fatalf("%s: saving columnar: %v", label, err)
+	}
+	if _, err := semfs.ConvertTrace(dirs[0].path, dirs[2].path, semfs.FormatColumnar, 0); err != nil {
+		t.Fatalf("%s: converting v1->columnar: %v", label, err)
+	}
+	if _, err := semfs.ConvertTrace(dirs[1].path, dirs[3].path, semfs.FormatV1, 0); err != nil {
+		t.Fatalf("%s: converting columnar->v1: %v", label, err)
+	}
+
+	// The strict v1 reload is the record-level oracle: the v1 decoder
+	// predates the columnar format, so every other load path must agree
+	// with it byte for byte.
+	oracle, err := semfs.LoadTrace(dirs[0].path, 1)
+	if err != nil {
+		t.Fatalf("%s: loading v1 oracle: %v", label, err)
+	}
+	oracleAnalysis := semfs.Analyze(oracle)
+	oracleReport := report.BuildRunReport(oracle).Render()
+	oracleFA := core.Extract(oracle)
+
+	for _, d := range dirs {
+		for _, w := range workerCounts {
+			got, err := semfs.LoadTrace(d.path, w)
+			if err != nil {
+				t.Fatalf("%s/%s/workers=%d: load: %v", label, d.name, w, err)
+			}
+			if !reflect.DeepEqual(got.Meta, oracle.Meta) {
+				t.Errorf("%s/%s/workers=%d: meta diverges:\noracle: %+v\ngot:    %+v",
+					label, d.name, w, oracle.Meta, got.Meta)
+			}
+			if !reflect.DeepEqual(got.PerRank, oracle.PerRank) {
+				t.Errorf("%s/%s/workers=%d: records diverge from the v1 oracle", label, d.name, w)
+				continue
+			}
+			RequireEqual(t, fmt.Sprintf("%s/%s/workers=%d", label, d.name, w),
+				oracleAnalysis, semfs.Analyze(got))
+			if rep := report.BuildRunReport(got).Render(); rep != oracleReport {
+				t.Errorf("%s/%s/workers=%d: rendered report diverges", label, d.name, w)
+			}
+		}
+	}
+
+	// Zero-copy cursor extraction over the mapped columnar directory.
+	for _, w := range workerCounts {
+		dr, err := colfmt.OpenDirOn(storage.OS(), dirs[1].path, w)
+		if err != nil {
+			t.Fatalf("%s/cursors/workers=%d: open: %v", label, w, err)
+		}
+		fas, err := core.ExtractCursors(dr.Cursors(), w)
+		if cerr := dr.Close(); cerr != nil {
+			t.Errorf("%s/cursors/workers=%d: close: %v", label, w, cerr)
+		}
+		if err != nil {
+			t.Fatalf("%s/cursors/workers=%d: extract: %v", label, w, err)
+		}
+		if !reflect.DeepEqual(fas, oracleFA) {
+			t.Errorf("%s/cursors/workers=%d: cursor extraction diverges from materialized extraction",
+				label, w)
+		}
+	}
 }
 
 // CheckApp runs one registry application configuration and asserts

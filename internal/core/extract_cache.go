@@ -13,8 +13,10 @@ import (
 // consumers (patterns and reports build their own index slices), so sharing
 // is read-only safe; see DESIGN.md §11.
 //
-// The cache is keyed by trace identity (*recorder.Trace), holds at most
-// extractCacheCap entries, and evicts in insertion (FIFO) order — analysis
+// The cache is keyed by source identity — the *recorder.Trace for
+// slice-backed extraction, any caller-chosen key for cursor-backed
+// extraction — holds at most extractCacheCap entries, and evicts in
+// insertion (FIFO) order — analysis
 // sweeps visit each trace in bursts and never revisit old ones, so FIFO
 // behaves like LRU here without the bookkeeping.
 
@@ -28,17 +30,17 @@ type extractionEntry struct {
 
 type extractionCache struct {
 	mu    sync.Mutex
-	byTr  map[*recorder.Trace]*extractionEntry
-	order []*recorder.Trace // insertion order, for FIFO eviction
+	byTr  map[any]*extractionEntry
+	order []any // insertion order, for FIFO eviction
 }
 
-var extractions = extractionCache{byTr: make(map[*recorder.Trace]*extractionEntry)}
+var extractions = extractionCache{byTr: make(map[any]*extractionEntry)}
 
 // acquire returns the trace's entry, creating (and possibly evicting) under
 // the lock. The extraction itself runs outside the lock, guarded by the
 // entry's once, so concurrent callers for the same trace coalesce into a
 // single extraction while other traces proceed independently.
-func (c *extractionCache) acquire(tr *recorder.Trace) *extractionEntry {
+func (c *extractionCache) acquire(tr any) *extractionEntry {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	if e, ok := c.byTr[tr]; ok {
@@ -59,7 +61,7 @@ func (c *extractionCache) acquire(tr *recorder.Trace) *extractionEntry {
 }
 
 // drop removes an entry, if still present with the same identity.
-func (c *extractionCache) drop(tr *recorder.Trace, e *extractionEntry) {
+func (c *extractionCache) drop(tr any, e *extractionEntry) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	if cur, ok := c.byTr[tr]; ok && cur == e {
@@ -112,4 +114,21 @@ func InvalidateExtraction(tr *recorder.Trace) {
 			break
 		}
 	}
+}
+
+// ExtractCursorsSharedCtx is ExtractCursorsCtx through the cache: key
+// identifies the underlying trace source (one key per opened directory —
+// e.g. the colfmt DirReader), so repeated analyses of the same mapped trace
+// share one extraction without ever materializing []Record. Cursors are
+// single-use: they are consumed only on a cache miss, and concurrent
+// callers for the same key coalesce into a single walk.
+func ExtractCursorsSharedCtx(ctx context.Context, key any, cursors []RecordCursor, workers int) ([]*FileAccesses, error) {
+	e := extractions.acquire(key)
+	e.once.Do(func() {
+		e.fas, e.err = ExtractCursorsCtx(ctx, cursors, workers)
+		if e.err != nil {
+			extractions.drop(key, e)
+		}
+	})
+	return e.fas, e.err
 }

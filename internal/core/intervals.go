@@ -159,94 +159,12 @@ func Extract(tr *recorder.Trace) []*FileAccesses {
 // extractRank walks one rank's record stream and accumulates its file
 // accesses into files. Offset and size state is rank-local (§5.1), so rank
 // streams can be processed independently as long as each rank's records are
-// appended to a path's tables in rank order.
+// appended to a path's tables in rank order. The per-record fold lives in
+// rankExtractor (stream.go), shared with the cursor-based zero-copy path.
 func extractRank(rs []recorder.Record, files map[string]*FileAccesses) {
-	get := func(path string) *FileAccesses {
-		fa, ok := files[path]
-		if !ok {
-			fa = &FileAccesses{
-				Path:          path,
-				OpensByRank:   make(map[int32][]uint64),
-				ClosesByRank:  make(map[int32][]uint64),
-				CommitsByRank: make(map[int32][]uint64),
-			}
-			files[path] = fa
-		}
-		return fa
-	}
-
-	var fds fdTable
-	sizeByPath := make(map[string]int64, 8) // this rank's view, for O_APPEND
-	origins, phases := attributeOrigins(rs)
-
-	noteSize := func(path string, end int64) {
-		if end > sizeByPath[path] {
-			sizeByPath[path] = end
-		}
-	}
-
+	ext := newRankExtractor(files)
 	for i := range rs {
-		r := &rs[i]
-		if r.Layer != recorder.LayerPOSIX {
-			continue
-		}
-		switch {
-		case r.IsOpenOp():
-			fd := r.Arg(2)
-			if fd < 0 {
-				continue // failed open
-			}
-			flags := int(r.Arg(0))
-			fds.set(fd, fdState{path: r.Path, appendMd: flags&recorder.OAppend != 0})
-			if flags&recorder.OTrunc != 0 {
-				sizeByPath[r.Path] = 0
-			}
-			fa := get(r.Path)
-			fa.OpensByRank[r.Rank] = append(fa.OpensByRank[r.Rank], r.TStart)
-		case r.IsCloseOp():
-			if st := fds.closeFD(r.Arg(0)); st != nil {
-				fa := get(st.path)
-				fa.ClosesByRank[r.Rank] = append(fa.ClosesByRank[r.Rank], r.TStart)
-				fa.CommitsByRank[r.Rank] = append(fa.CommitsByRank[r.Rank], r.TStart)
-			}
-		case r.Func == recorder.FuncFsync || r.Func == recorder.FuncFdatasync || r.Func == recorder.FuncFflush:
-			if st := fds.get(r.Arg(0)); st != nil {
-				fa := get(st.path)
-				fa.CommitsByRank[r.Rank] = append(fa.CommitsByRank[r.Rank], r.TStart)
-			}
-		case r.Func == recorder.FuncLseek || r.Func == recorder.FuncFseek:
-			st := fds.get(r.Arg(0))
-			if st == nil {
-				continue
-			}
-			off, whence, ret := r.Arg(1), r.Arg(2), r.Arg(3)
-			switch whence {
-			case recorder.SeekSet:
-				st.offset = off
-			case recorder.SeekCur:
-				st.offset += off
-			case recorder.SeekEnd:
-				// The file size is not derivable from one rank's record
-				// stream; use the call's recorded return value, as a
-				// real tracer would.
-				st.offset = ret
-			}
-		case r.Func == recorder.FuncFtruncate:
-			if st := fds.get(r.Arg(0)); st != nil {
-				sizeByPath[st.path] = r.Arg(1)
-			}
-		case r.Func == recorder.FuncTruncate:
-			sizeByPath[r.Path] = r.Arg(1)
-		case r.IsDataOp():
-			iv, path, ok := dataInterval(r, &fds, sizeByPath)
-			if !ok {
-				continue
-			}
-			iv.Origin, iv.Phase = origins[i], phases[i]
-			noteSize(path, iv.Oe)
-			fa := get(path)
-			fa.Intervals = append(fa.Intervals, iv)
-		}
+		ext.step(&rs[i])
 	}
 }
 
@@ -347,39 +265,14 @@ func firstAfter(times []uint64, t uint64) uint64 {
 
 // attributeOrigins computes, for every record in a rank stream, the layer
 // of the outermost enclosing library-layer record (by time containment) and
-// the stream index of the innermost one (the "phase"). Streams are
-// TStart-ordered, so a stack sweep suffices: frames are library records not
-// yet known to have ended.
+// the stream index of the innermost one (the "phase"). It is the
+// whole-slice form of originStack's streaming sweep (stream.go).
 func attributeOrigins(rs []recorder.Record) ([]recorder.Layer, []int) {
 	origins := make([]recorder.Layer, len(rs))
 	phases := make([]int, len(rs))
-	type frame struct {
-		idx  int
-		tend uint64
-	}
-	var stack []frame
+	var stack originStack
 	for i := range rs {
-		r := &rs[i]
-		// Drop frames that ended before this record starts.
-		for len(stack) > 0 && stack[len(stack)-1].tend < r.TStart {
-			stack = stack[:len(stack)-1]
-		}
-		origins[i], phases[i] = recorder.LayerApp, -1
-		for _, fr := range stack { // bottom = outermost
-			if fr.tend >= r.TEnd {
-				origins[i] = rs[fr.idx].Layer
-				break
-			}
-		}
-		for k := len(stack) - 1; k >= 0; k-- { // top = innermost
-			if stack[k].tend >= r.TEnd {
-				phases[i] = stack[k].idx
-				break
-			}
-		}
-		if r.Layer != recorder.LayerPOSIX && r.Layer != recorder.LayerMPI {
-			stack = append(stack, frame{idx: i, tend: r.TEnd})
-		}
+		origins[i], phases[i] = stack.step(i, &rs[i])
 	}
 	return origins, phases
 }

@@ -143,21 +143,7 @@ func ExtractParallelCtx(ctx context.Context, tr *recorder.Trace, workers int) ([
 		return nil, err
 	}
 
-	merged := make(map[string]*FileAccesses)
-	for r := 0; r < n; r++ { // rank order = serial append order
-		for p, part := range partial[r] {
-			dst, ok := merged[p]
-			if !ok {
-				merged[p] = part
-				continue
-			}
-			dst.Intervals = append(dst.Intervals, part.Intervals...)
-			mergeTimes(dst.OpensByRank, part.OpensByRank)
-			mergeTimes(dst.ClosesByRank, part.ClosesByRank)
-			mergeTimes(dst.CommitsByRank, part.CommitsByRank)
-		}
-	}
-	out := sortedFiles(merged)
+	out := sortedFiles(mergePartials(partial)) // rank order = serial append order
 	if err := ParallelForCtx(ctx, len(out), workers, func(i int) { annotate(out[i]) }); err != nil {
 		return nil, err
 	}

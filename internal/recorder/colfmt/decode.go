@@ -1,0 +1,623 @@
+package colfmt
+
+import (
+	"encoding/binary"
+	"fmt"
+	"hash/crc32"
+
+	"repro/internal/recorder"
+)
+
+// Sniff reports whether data begins with the columnar magic. Dir loaders use
+// it to dispatch between the columnar decoder and the v1 compatibility
+// reader on a per-file basis.
+func Sniff(data []byte) bool {
+	return len(data) >= len(Magic) && string(data[:len(Magic)]) == Magic
+}
+
+// CorruptError reports a frame that failed CRC, framing, or column decoding
+// mid-stream — damage, as opposed to a torn tail where bytes are simply
+// missing (that is recorder.TruncatedError). The valid record prefix decoded
+// before the bad block is always preserved alongside it.
+type CorruptError struct {
+	Block  int    // 0-based index of the frame that failed
+	Reason string // what broke
+}
+
+func (e *CorruptError) Error() string {
+	return fmt.Sprintf("colfmt: block %d corrupt: %s", e.Block, e.Reason)
+}
+
+// Reader decodes one columnar rank stream from a byte slice — memory-mapped
+// by Open when the backend allows it, read whole otherwise. All decoding is
+// bounds-checked against the slice; a Reader never reads outside data.
+type Reader struct {
+	data     []byte
+	unmap    func() error // releases the mapping; nil for read-backed data
+	rank     int
+	declared uint64
+	blockOff int      // offset of the first frame
+	dictOff  int      // offset of the footer dictionary frame; -1 if unusable
+	dict     []string // footer dictionary; nil when dictOff < 0
+}
+
+// NewReader parses the stream header and probes the footer of an in-memory
+// columnar stream. It fails only when the header itself is unusable (bad
+// magic, forged rank/count) — a torn or corrupt tail is detected during the
+// cursor walk so the valid prefix stays recoverable.
+func NewReader(data []byte) (*Reader, error) {
+	if !Sniff(data) {
+		return nil, fmt.Errorf("colfmt: bad magic")
+	}
+	off := len(Magic)
+	urank, off, ok := uvarintAt(data, off)
+	if !ok {
+		return nil, &recorder.TruncatedError{}
+	}
+	if urank >= maxRank {
+		return nil, fmt.Errorf("colfmt: rank %d out of range", urank)
+	}
+	declared, off, ok := uvarintAt(data, off)
+	if !ok {
+		return nil, &recorder.TruncatedError{}
+	}
+	if declared > maxRecords {
+		return nil, fmt.Errorf("colfmt: record count %d too large", declared)
+	}
+	r := &Reader{data: data, rank: int(urank), declared: declared, blockOff: off, dictOff: -1}
+	r.probeFooter()
+	return r, nil
+}
+
+// probeFooter validates the trailer and footer dictionary frame. Success
+// arms the fast path: the dictionary is interned once and any data block is
+// decodable in isolation (absolute dictionary refs, block-local timestamps),
+// which is also what lets a lenient cursor skip a corrupt mid-file block.
+// Failure leaves the Reader in salvage mode: the cursor rebuilds the
+// dictionary incrementally from per-block deltas instead.
+func (r *Reader) probeFooter() {
+	data := r.data
+	if len(data) < r.blockOff+frameHdrLen+1+trailerLen {
+		return
+	}
+	tr := data[len(data)-trailerLen:]
+	if string(tr[16:]) != endMagic {
+		return
+	}
+	dictOff := binary.LittleEndian.Uint64(tr[0:])
+	count := binary.LittleEndian.Uint64(tr[8:])
+	if count != r.declared {
+		return
+	}
+	if dictOff < uint64(r.blockOff) || dictOff > uint64(len(data)-trailerLen-frameHdrLen) {
+		return
+	}
+	fo := int(dictOff)
+	if data[fo] != kindDict {
+		return
+	}
+	plen := binary.LittleEndian.Uint32(data[fo+1:])
+	wantCRC := binary.LittleEndian.Uint32(data[fo+5:])
+	if uint64(plen) > maxPayload || fo+frameHdrLen+int(plen) != len(data)-trailerLen {
+		return
+	}
+	payload := data[fo+frameHdrLen : fo+frameHdrLen+int(plen)]
+	if crc32.Checksum(payload, castagnoli) != wantCRC {
+		return
+	}
+	dict, ok := parseDict(payload, nil)
+	if !ok {
+		return
+	}
+	r.dictOff = fo
+	r.dict = dict
+}
+
+// parseDict decodes a string-table payload (or a per-block delta section
+// laid out the same way), appending to dst. Strings are copied out of data:
+// they must outlive an unmapped Reader.
+func parseDict(payload []byte, dst []string) ([]string, bool) {
+	off := 0
+	count, off, ok := uvarintAt(payload, off)
+	if !ok || count > uint64(len(payload)) {
+		return dst, false
+	}
+	for i := uint64(0); i < count; i++ {
+		n, noff, ok := uvarintAt(payload, off)
+		if !ok || n > maxString || noff+int(n) > len(payload) {
+			return dst, false
+		}
+		dst = append(dst, string(payload[noff:noff+int(n)]))
+		off = noff + int(n)
+	}
+	if off != len(payload) {
+		return dst, false
+	}
+	return dst, true
+}
+
+// Rank returns the stream's rank from the header.
+func (r *Reader) Rank() int { return r.rank }
+
+// Declared returns the record count the header promises — the exact-salvage
+// denominator even when the tail (and footer) is gone.
+func (r *Reader) Declared() int { return int(r.declared) }
+
+// HasFooter reports whether the footer dictionary validated, i.e. the fast
+// path is armed and the stream tail is intact.
+func (r *Reader) HasFooter() bool { return r.dictOff >= 0 }
+
+// Close releases the mapping, if any. Records yielded by cursors alias the
+// mapped bytes only for Args; paths are interned strings and survive Close.
+// Callers must finish cursor walks (and copy any Args they keep) first.
+func (r *Reader) Close() error {
+	if r.unmap != nil {
+		u := r.unmap
+		r.unmap = nil
+		r.data = nil
+		return u()
+	}
+	return nil
+}
+
+// Stats reports what one cursor walk decoded, for per-block salvage
+// accounting.
+type Stats struct {
+	Records int // records yielded
+	Blocks  int // data blocks decoded cleanly
+	Skipped int // corrupt data blocks skipped (lenient walk, intact footer)
+}
+
+// Cursor walks a stream record by record without materializing a slice: the
+// yielded Record reuses one struct whose Args alias an internal buffer,
+// both valid only until the next call to Next. Columns are consumed
+// in place from the mapped bytes; the only per-record heap work is nothing
+// at all once the args buffer has grown to its high-water mark.
+type Cursor struct {
+	r       *Reader
+	lenient bool
+	dict    []string
+	incr    bool // no footer: dictionary built from per-block deltas
+	off     int  // offset of the next frame
+	block   int  // index of the next frame
+
+	// Current block state: remaining bytes of each column segment.
+	n, i    int
+	prevT   uint64
+	layers  []byte
+	funcs   []byte
+	tstarts []byte
+	durs    []byte
+	paths   []byte
+	paths2  []byte
+	nargs   []byte
+	args    []byte
+
+	rec    recorder.Record
+	argbuf []int64
+
+	stats Stats
+	err   error
+	done  bool
+}
+
+// Cursor returns a strict cursor: any torn tail or corrupt block fails the
+// walk (after yielding the valid prefix).
+func (r *Reader) Cursor() *Cursor { return r.newCursor(false) }
+
+// LenientCursor returns a salvaging cursor: with an intact footer it skips
+// individually corrupt blocks and keeps decoding (refs are absolute, blocks
+// are time-self-contained); without one it keeps the longest valid prefix.
+// Err still reports what was lost; Stats says how much survived.
+func (r *Reader) LenientCursor() *Cursor { return r.newCursor(true) }
+
+func (r *Reader) newCursor(lenient bool) *Cursor {
+	c := &Cursor{r: r, lenient: lenient, off: r.blockOff}
+	c.rec.Rank = int32(r.rank)
+	if r.dictOff >= 0 {
+		c.dict = r.dict
+	} else {
+		c.incr = true
+	}
+	return c
+}
+
+// Next advances to the next record, returning false at the end of the walk.
+// After a false return, Err distinguishes a clean end (nil) from a torn or
+// corrupt stream.
+func (c *Cursor) Next() bool {
+	for {
+		if c.done {
+			return false
+		}
+		for c.i >= c.n {
+			if !c.nextBlock() {
+				return false
+			}
+		}
+		if c.decodeRecord() {
+			c.i++
+			c.stats.Records++
+			return true
+		}
+		// decodeRecord set a corruption error for the current block; in a
+		// lenient footer-mode walk later blocks are independent (absolute
+		// dictionary refs, block-local timestamps), so drop the rest of this
+		// block and resync at the next frame.
+		if c.lenient && !c.incr {
+			c.err = nil
+			c.done = false
+			c.stats.Skipped++
+			c.n, c.i = 0, 0
+			continue
+		}
+		c.done = true
+		return false
+	}
+}
+
+// Record returns the current record. The pointee (and its Args) are
+// overwritten by the next call to Next.
+func (c *Cursor) Record() *recorder.Record { return &c.rec }
+
+// Err returns nil after a clean walk, a recorder.TruncatedError (wrapping
+// recorder.ErrTruncated) for a torn tail, or a *CorruptError for damage.
+func (c *Cursor) Err() error { return c.err }
+
+// Stats returns the walk's per-block accounting so far.
+func (c *Cursor) Stats() Stats { return c.stats }
+
+func (c *Cursor) fail(err error) bool {
+	c.err = err
+	c.done = true
+	return false
+}
+
+func (c *Cursor) failTorn() bool {
+	return c.fail(&recorder.TruncatedError{Declared: c.r.declared, Decoded: c.stats.Records})
+}
+
+func (c *Cursor) failCorrupt(block int, format string, a ...any) bool {
+	return c.fail(&CorruptError{Block: block, Reason: fmt.Sprintf(format, a...)})
+}
+
+// nextBlock advances the cursor to the next data block, handling stream end.
+// It returns true with a loaded block, or false with done set (and err set
+// unless the stream ended cleanly).
+func (c *Cursor) nextBlock() bool {
+	data := c.r.data
+	for {
+		// Footer mode: data frames occupy exactly [blockOff, dictOff).
+		if !c.incr && c.off >= c.r.dictOff {
+			if c.off != c.r.dictOff {
+				return c.failCorrupt(c.block-1, "frame overruns the dictionary at %d", c.r.dictOff)
+			}
+			return c.finish()
+		}
+		if c.incr && c.off == len(data) {
+			return c.failTorn()
+		}
+		if c.off+frameHdrLen > len(data) {
+			return c.failTorn()
+		}
+		kind := data[c.off]
+		plen := int(binary.LittleEndian.Uint32(data[c.off+1:]))
+		wantCRC := binary.LittleEndian.Uint32(data[c.off+5:])
+		if plen > maxPayload {
+			return c.failCorrupt(c.block, "payload length %d exceeds %d", plen, maxPayload)
+		}
+		start := c.off + frameHdrLen
+		if start+plen > len(data) {
+			return c.failTorn()
+		}
+		payload := data[start : start+plen]
+		block := c.block
+		c.off = start + plen
+		c.block++
+		switch kind {
+		case kindDict:
+			// Incremental mode only (footer mode never reaches a dict frame):
+			// the trailer was damaged but the dictionary survived. All data
+			// frames precede it, so a count match means a complete walk.
+			if crc32.Checksum(payload, castagnoli) != wantCRC {
+				return c.failCorrupt(block, "dictionary CRC mismatch")
+			}
+			return c.finish()
+		case kindData:
+			if crc32.Checksum(payload, castagnoli) != wantCRC {
+				if c.skippable(block, "CRC mismatch") {
+					continue
+				}
+				return false
+			}
+			if !c.loadBlock(block, payload) {
+				// loadBlock failures are all CorruptError; a lenient
+				// footer-mode walk resyncs at the next frame.
+				if c.lenient && !c.incr {
+					c.err = nil
+					c.done = false
+					c.stats.Skipped++
+					continue
+				}
+				return false
+			}
+			blocksDecoded.Inc()
+			c.stats.Blocks++
+			return true
+		default:
+			if c.skippable(block, "unknown frame kind") {
+				continue
+			}
+			return false
+		}
+	}
+}
+
+// skippable records a corrupt frame and reports whether the walk may hop
+// over it: only a lenient cursor with an intact footer can, because only
+// then are later blocks self-describing (absolute dictionary refs) and the
+// frame length trustworthy enough to bounds-checked resync.
+func (c *Cursor) skippable(block int, reason string) bool {
+	if c.lenient && !c.incr {
+		c.stats.Skipped++
+		return true
+	}
+	c.failCorrupt(block, "%s", reason)
+	return false
+}
+
+// finish validates the walk's end: every declared record must have been
+// yielded, otherwise blocks went missing mid-stream.
+func (c *Cursor) finish() bool {
+	c.done = true
+	if uint64(c.stats.Records) != c.r.declared && c.err == nil {
+		if c.stats.Skipped > 0 {
+			// Lenient walk dropped blocks; the shortfall is accounted by the
+			// caller against Declared, not an error here.
+			return false
+		}
+		c.err = &recorder.TruncatedError{Declared: c.r.declared, Decoded: c.stats.Records}
+	}
+	return false
+}
+
+// loadBlock parses a CRC-valid data payload into column slices. A false
+// return with c.err == *CorruptError means the payload was malformed.
+func (c *Cursor) loadBlock(block int, payload []byte) bool {
+	off := 0
+	count, off, ok := uvarintAt(payload, off)
+	if !ok || count == 0 || count > maxRecords {
+		return c.failCorrupt(block, "bad record count")
+	}
+	if uint64(c.stats.Records)+count > c.r.declared {
+		// More records than the header declared: the header and blocks
+		// disagree, so the stream is forged or damaged beyond trusting.
+		return c.failCorrupt(block, "blocks exceed declared record count")
+	}
+	nnew, off, ok := uvarintAt(payload, off)
+	if !ok || nnew > count*2 {
+		return c.failCorrupt(block, "bad dictionary delta count")
+	}
+	if c.incr {
+		// Rebuild the dictionary from the delta; parseDict wants the count
+		// prefix, so hand it the section starting at the count.
+		dict, pok := parseDictN(payload, &off, nnew, c.dict)
+		if !pok {
+			return c.failCorrupt(block, "bad dictionary delta")
+		}
+		c.dict = dict
+	} else {
+		for i := uint64(0); i < nnew; i++ {
+			n, noff, ok := uvarintAt(payload, off)
+			if !ok || n > maxString || noff+int(n) > len(payload) {
+				return c.failCorrupt(block, "bad dictionary delta")
+			}
+			off = noff + int(n)
+		}
+	}
+	var segs [colSegments][]byte
+	for s := 0; s < colSegments; s++ {
+		slen, noff, ok := uvarintAt(payload, off)
+		if !ok || noff+int(slen) > len(payload) {
+			return c.failCorrupt(block, "bad column segment %d", s)
+		}
+		segs[s] = payload[noff : noff+int(slen)]
+		off = noff + int(slen)
+	}
+	if off != len(payload) {
+		return c.failCorrupt(block, "trailing bytes after columns")
+	}
+	if uint64(len(segs[colLayers])) != count {
+		return c.failCorrupt(block, "layer column length mismatch")
+	}
+	c.n, c.i = int(count), 0
+	c.layers = segs[colLayers]
+	c.funcs = segs[colFuncs]
+	c.tstarts = segs[colTStarts]
+	c.durs = segs[colDurs]
+	c.paths = segs[colPaths]
+	c.paths2 = segs[colPaths2]
+	c.nargs = segs[colNArgs]
+	c.args = segs[colArgs]
+	return true
+}
+
+// parseDictN appends n delta strings (uvarint len + bytes each) from
+// payload at *off to dst, advancing *off.
+func parseDictN(payload []byte, off *int, n uint64, dst []string) ([]string, bool) {
+	o := *off
+	for i := uint64(0); i < n; i++ {
+		l, noff, ok := uvarintAt(payload, o)
+		if !ok || l > maxString || noff+int(l) > len(payload) {
+			return dst, false
+		}
+		dst = append(dst, string(payload[noff:noff+int(l)]))
+		o = noff + int(l)
+	}
+	*off = o
+	return dst, true
+}
+
+// decodeRecord fills c.rec from the current block's columns. A false return
+// set a corruption error on the current block.
+func (c *Cursor) decodeRecord() bool {
+	block := c.block - 1
+	layer := c.layers[c.i] // length validated against count in loadBlock
+	fn, ok := takeUvarint(&c.funcs)
+	if !ok {
+		return c.failCorrupt(block, "funcs column short")
+	}
+	var tstart uint64
+	if c.i == 0 {
+		tstart, ok = takeUvarint(&c.tstarts)
+	} else {
+		var d int64
+		d, ok = takeVarint(&c.tstarts)
+		tstart = c.prevT + uint64(d)
+	}
+	if !ok {
+		return c.failCorrupt(block, "tstarts column short")
+	}
+	c.prevT = tstart
+	dur, ok := takeUvarint(&c.durs)
+	if !ok {
+		return c.failCorrupt(block, "durs column short")
+	}
+	tend := tstart + dur
+	if tend < tstart {
+		return c.failCorrupt(block, "duration overflows")
+	}
+	pref, ok := takeUvarint(&c.paths)
+	if !ok {
+		return c.failCorrupt(block, "paths column short")
+	}
+	path, ok := c.resolve(pref)
+	if !ok {
+		return c.failCorrupt(block, "path ref %d out of dictionary (%d entries)", pref, len(c.dict))
+	}
+	pref2, ok := takeUvarint(&c.paths2)
+	if !ok {
+		return c.failCorrupt(block, "paths2 column short")
+	}
+	path2, ok := c.resolve(pref2)
+	if !ok {
+		return c.failCorrupt(block, "path2 ref %d out of dictionary (%d entries)", pref2, len(c.dict))
+	}
+	nargs, ok := takeUvarint(&c.nargs)
+	if !ok {
+		return c.failCorrupt(block, "nargs column short")
+	}
+	if nargs > maxArgs {
+		return c.failCorrupt(block, "%d args too many", nargs)
+	}
+	rec := &c.rec
+	rec.Layer = recorder.Layer(layer)
+	rec.Func = recorder.Func(fn)
+	rec.TStart = tstart
+	rec.TEnd = tend
+	rec.Path = path
+	rec.Path2 = path2
+	if nargs == 0 {
+		rec.Args = nil
+	} else {
+		if cap(c.argbuf) < int(nargs) {
+			c.argbuf = make([]int64, nargs)
+		}
+		rec.Args = c.argbuf[:nargs]
+		for j := range rec.Args {
+			a, ok := takeVarint(&c.args)
+			if !ok {
+				return c.failCorrupt(block, "args column short")
+			}
+			rec.Args[j] = a
+		}
+	}
+	return true
+}
+
+// resolve maps a wire path ref (0 = none, k >= 1 = dict[k-1]) to its string.
+func (c *Cursor) resolve(ref uint64) (string, bool) {
+	if ref == 0 {
+		return "", true
+	}
+	if ref > uint64(len(c.dict)) {
+		return "", false
+	}
+	return c.dict[ref-1], true
+}
+
+// Materialize decodes the whole stream into a fresh []Record — the shim for
+// callers that still want slices. Args are copied into chunked arenas so
+// records stay valid after Close. On error the valid prefix is returned
+// alongside it, mirroring recorder.DecodeRankStream.
+func (r *Reader) Materialize() ([]recorder.Record, error) {
+	return r.materialize(r.Cursor())
+}
+
+// MaterializeLenient is Materialize on a salvaging walk; it additionally
+// returns the per-block Stats. A non-nil error describes what was lost (the
+// returned prefix is still valid); skipped blocks alone do not error.
+func (r *Reader) MaterializeLenient() ([]recorder.Record, Stats, error) {
+	c := r.LenientCursor()
+	recs, err := r.materialize(c)
+	return recs, c.Stats(), err
+}
+
+const argArenaLen = 8192
+
+func (r *Reader) materialize(c *Cursor) ([]recorder.Record, error) {
+	// A record costs at least two column bytes, so len(data) safely bounds a
+	// forged declared count's preallocation.
+	prealloc := r.declared
+	if prealloc > uint64(len(r.data)) {
+		prealloc = uint64(len(r.data))
+	}
+	records := make([]recorder.Record, 0, prealloc)
+	var arena []int64
+	for c.Next() {
+		rec := c.rec
+		if n := len(rec.Args); n > 0 {
+			if len(arena) < n {
+				arena = make([]int64, argArenaLen)
+			}
+			copy(arena, rec.Args)
+			rec.Args = arena[:n:n]
+			arena = arena[n:]
+		}
+		records = append(records, rec)
+	}
+	return records, c.Err()
+}
+
+// uvarintAt decodes a uvarint from data at off, returning the value, the
+// new offset, and whether the read stayed in bounds.
+func uvarintAt(data []byte, off int) (uint64, int, bool) {
+	if off < 0 || off > len(data) {
+		return 0, 0, false
+	}
+	v, n := binary.Uvarint(data[off:])
+	if n <= 0 {
+		return 0, 0, false
+	}
+	return v, off + n, true
+}
+
+// takeUvarint consumes a uvarint from the front of a column slice.
+func takeUvarint(col *[]byte) (uint64, bool) {
+	v, n := binary.Uvarint(*col)
+	if n <= 0 {
+		return 0, false
+	}
+	*col = (*col)[n:]
+	return v, true
+}
+
+// takeVarint consumes a varint from the front of a column slice.
+func takeVarint(col *[]byte) (int64, bool) {
+	v, n := binary.Varint(*col)
+	if n <= 0 {
+		return 0, false
+	}
+	*col = (*col)[n:]
+	return v, true
+}

@@ -1,0 +1,37 @@
+//go:build unix
+
+package colfmt
+
+import (
+	"os"
+	"syscall"
+)
+
+// mapFile memory-maps path read-only, returning the mapped bytes and an
+// unmap func. Callers fall back to reading the file on any error — mmap is
+// an optimization, never a requirement.
+func mapFile(path string) (data []byte, unmap func() error, err error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, nil, err
+	}
+	defer f.Close()
+	st, err := f.Stat()
+	if err != nil {
+		return nil, nil, err
+	}
+	size := st.Size()
+	if size == 0 {
+		// Zero-length mmap is an error on Linux; an empty slice decodes to
+		// the same "bad magic" a zero-length read would.
+		return nil, func() error { return nil }, nil
+	}
+	if size != int64(int(size)) {
+		return nil, nil, syscall.EFBIG
+	}
+	data, err = syscall.Mmap(int(f.Fd()), 0, int(size), syscall.PROT_READ, syscall.MAP_SHARED)
+	if err != nil {
+		return nil, nil, err
+	}
+	return data, func() error { return syscall.Munmap(data) }, nil
+}

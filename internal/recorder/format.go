@@ -190,8 +190,11 @@ func DecodeRankStream(r io.Reader) (rank int, records []Record, err error) {
 			if _, err := io.ReadFull(br, b); err != nil {
 				return "", err
 			}
-			strTable = append(strTable, string(b))
-			return string(b), nil
+			// Intern once: the table entry and the returned value share one
+			// string, so each distinct path costs a single allocation.
+			s := string(b)
+			strTable = append(strTable, s)
+			return s, nil
 		default:
 			idx := tag - 2
 			if idx >= uint64(len(strTable)) {
@@ -365,9 +368,14 @@ func LoadDirOn(b storage.Backend, dir string) (*Trace, error) {
 	return tr, nil
 }
 
-func rankFileName(rank int) string {
+// RankFileName returns the per-rank stream file name ("rank_NNNNN.rec").
+// Both trace formats share it — the magic bytes inside pick the decoder —
+// so format-sniffing loaders (internal/recorder/colfmt) build paths with it.
+func RankFileName(rank int) string {
 	return fmt.Sprintf("rank_%05d.rec", rank)
 }
+
+func rankFileName(rank int) string { return RankFileName(rank) }
 
 // Salvage reports how a degraded-mode load went: how many rank streams
 // loaded fully, how many were truncated but partially recovered, and how
@@ -383,6 +391,13 @@ type Salvage struct {
 	// Dropped counts records declared by damaged streams' headers but lost
 	// to the cut (0 when a stream died before declaring its count).
 	Dropped int
+	// Blocks and BlocksDropped are the columnar formats' per-block
+	// accounting (zero for v1 streams): column blocks decoded cleanly vs
+	// corrupt blocks individually skipped mid-stream. Records behind a torn
+	// tail are accounted in Dropped, not here — a cut hides how many blocks
+	// it ate, while the header-declared count keeps the record loss exact.
+	Blocks        int
+	BlocksDropped int
 	// Errs holds one error per degraded stream, wrapped with the file name.
 	Errs []error
 }
@@ -391,8 +406,12 @@ type Salvage struct {
 func (s *Salvage) Degraded() bool { return s.Truncated > 0 || s.Unreadable > 0 }
 
 func (s *Salvage) String() string {
-	return fmt.Sprintf("salvage: %d/%d streams full, %d truncated, %d unreadable; %d records (%d salvaged, %d dropped)",
+	out := fmt.Sprintf("salvage: %d/%d streams full, %d truncated, %d unreadable; %d records (%d salvaged, %d dropped)",
 		s.Full, s.Ranks, s.Truncated, s.Unreadable, s.Records, s.Salvaged, s.Dropped)
+	if s.BlocksDropped > 0 {
+		out += fmt.Sprintf("; %d blocks kept, %d skipped", s.Blocks, s.BlocksDropped)
+	}
+	return out
 }
 
 // LoadDirLenient is the degraded-mode LoadDir: instead of aborting on the

@@ -14,6 +14,11 @@ var (
 	salvageRecordsDropped    = obs.Default().Counter("recorder.salvage.records_dropped")
 )
 
+// Observe publishes one lenient load's salvage outcome. LoadDirLenient
+// calls it itself; the format-sniffing loader in internal/recorder/colfmt
+// builds its own Salvage and calls it once per load.
+func (s *Salvage) Observe() { s.observe() }
+
 // observe publishes one lenient load's salvage outcome.
 func (s *Salvage) observe() {
 	salvageStreamsFull.Add(int64(s.Full))

@@ -165,6 +165,31 @@ func Settle(b Backend) {
 	}
 }
 
+// MapsFiles reports whether paths on b name plain local files whose bytes
+// may be read outside the Backend interface — e.g. memory-mapped by a
+// zero-copy reader. True only when the chain bottoms out at osdisk through
+// pass-through wrappers (retry): a flaky wrapper must keep intercepting
+// reads so its fault schedule fires, and an object store has no local file
+// to map at all. Callers that get false fall back to ReadFile.
+func MapsFiles(b Backend) bool {
+	for {
+		switch b.(type) {
+		case osdisk:
+			return true
+		case *retrier:
+			// Pass-through on the healthy path; a read that would need the
+			// retry policy fails the mmap open and surfaces normally.
+		default:
+			return false
+		}
+		u, ok := b.(unwrapper)
+		if !ok {
+			return false
+		}
+		b = u.Unwrap()
+	}
+}
+
 // IsNotExist reports whether err means "no such file" on any backend.
 func IsNotExist(err error) bool {
 	return errors.Is(err, errNotExist) || osIsNotExist(err)

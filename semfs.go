@@ -29,6 +29,7 @@ import (
 	"repro/internal/obs"
 	"repro/internal/pfs"
 	"repro/internal/recorder"
+	"repro/internal/recorder/colfmt"
 	"repro/internal/report"
 	"repro/internal/storage"
 )
@@ -291,21 +292,62 @@ func Report(tr *recorder.Trace) *report.RunReport { return report.BuildRunReport
 // traces without importing internal packages.
 type Trace = recorder.Trace
 
-// SaveTrace persists a trace as a directory of per-rank binary streams.
-func SaveTrace(dir string, tr *recorder.Trace) error { return recorder.SaveDir(dir, tr) }
+// SaveTrace persists a trace as a directory of per-rank binary streams in
+// the columnar format (see internal/recorder/colfmt). Use SaveTraceFormat
+// to write the v1 record-framed format for old readers.
+func SaveTrace(dir string, tr *recorder.Trace) error {
+	return colfmt.SaveDir(dir, tr, colfmt.FormatColumnar)
+}
 
 // SaveTraceOn is SaveTrace against an explicit storage backend (see
 // internal/storage.ParseSpec for backend construction).
 func SaveTraceOn(b storage.Backend, dir string, tr *recorder.Trace) error {
-	return recorder.SaveDirOn(b, dir, tr)
+	return colfmt.SaveDirOn(b, dir, tr, colfmt.FormatColumnar)
 }
 
-// LoadTrace loads a trace written by SaveTrace.
-func LoadTrace(dir string) (*recorder.Trace, error) { return recorder.LoadDir(dir) }
+// TraceFormat selects an on-disk trace format ("columnar" or "v1").
+type TraceFormat = colfmt.Format
+
+// Trace format constants.
+const (
+	FormatColumnar = colfmt.FormatColumnar
+	FormatV1       = colfmt.FormatV1
+)
+
+// ParseTraceFormat parses a trace format name ("columnar" or "v1").
+func ParseTraceFormat(s string) (TraceFormat, error) { return colfmt.ParseFormat(s) }
+
+// SaveTraceFormat is SaveTrace with an explicit on-disk format.
+func SaveTraceFormat(dir string, tr *recorder.Trace, f TraceFormat) error {
+	return colfmt.SaveDir(dir, tr, f)
+}
+
+// SaveTraceFormatOn is SaveTraceFormat against an explicit storage backend.
+func SaveTraceFormatOn(b storage.Backend, dir string, tr *recorder.Trace, f TraceFormat) error {
+	return colfmt.SaveDirOn(b, dir, tr, f)
+}
+
+// LoadTrace loads a trace written by SaveTrace, sniffing each rank file's
+// format (columnar or v1 — mixed directories are fine) and decoding ranks
+// in parallel across workers (0 means GOMAXPROCS).
+func LoadTrace(dir string, workers int) (*recorder.Trace, error) {
+	return colfmt.LoadDir(dir, workers)
+}
 
 // LoadTraceOn is LoadTrace against an explicit storage backend.
-func LoadTraceOn(b storage.Backend, dir string) (*recorder.Trace, error) {
-	return recorder.LoadDirOn(b, dir)
+func LoadTraceOn(b storage.Backend, dir string, workers int) (*recorder.Trace, error) {
+	return colfmt.LoadDirOn(b, dir, workers)
+}
+
+// ConvertTrace rewrites a trace directory into the requested format at a
+// new path (src and dst must differ), returning the loaded trace.
+func ConvertTrace(src, dst string, f TraceFormat, workers int) (*recorder.Trace, error) {
+	return colfmt.ConvertDir(src, dst, f, workers)
+}
+
+// ConvertTraceOn is ConvertTrace against an explicit storage backend.
+func ConvertTraceOn(b storage.Backend, src, dst string, f TraceFormat, workers int) (*recorder.Trace, error) {
+	return colfmt.ConvertDirOn(b, src, dst, f, workers)
 }
 
 // Salvage re-exports the degraded-mode load report (see LoadTraceLenient).
@@ -316,14 +358,14 @@ type Salvage = recorder.Salvage
 // Salvage reports exactly what was lost — so a damaged trace can still be
 // analyzed instead of aborting the pipeline. It fails only when the
 // metadata is unusable or no records survive at all.
-func LoadTraceLenient(dir string) (*recorder.Trace, *Salvage, error) {
-	return recorder.LoadDirLenient(dir)
+func LoadTraceLenient(dir string, workers int) (*recorder.Trace, *Salvage, error) {
+	return colfmt.LoadDirLenient(dir, workers)
 }
 
 // LoadTraceLenientOn is LoadTraceLenient against an explicit storage
 // backend.
-func LoadTraceLenientOn(b storage.Backend, dir string) (*recorder.Trace, *Salvage, error) {
-	return recorder.LoadDirLenientOn(b, dir)
+func LoadTraceLenientOn(b storage.Backend, dir string, workers int) (*recorder.Trace, *Salvage, error) {
+	return colfmt.LoadDirLenientOn(b, dir, workers)
 }
 
 // Ctx is the per-rank context handed to custom application bodies.

@@ -1,6 +1,7 @@
 package semfs
 
 import (
+	"bytes"
 	"context"
 	"errors"
 	"os"
@@ -8,6 +9,7 @@ import (
 	"testing"
 
 	"repro/internal/recorder"
+	"repro/internal/recorder/colfmt"
 )
 
 func TestApplicationsList(t *testing.T) {
@@ -62,7 +64,7 @@ func TestTraceRoundTripThroughDisk(t *testing.T) {
 	if err := SaveTrace(dir, res.Trace); err != nil {
 		t.Fatal(err)
 	}
-	got, err := LoadTrace(dir)
+	got, err := LoadTrace(dir, 0)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -177,15 +179,18 @@ func TestAnalyzeParallelCtxCancelledAndLenientLoad(t *testing.T) {
 	if err := SaveTrace(dir, res.Trace); err != nil {
 		t.Fatal(err)
 	}
+	// Columnar salvage is block-granular, so re-encode rank 3 with small
+	// blocks before tearing its tail — a half cut then leaves whole blocks
+	// to recover instead of killing the rank's only block.
 	streamPath := filepath.Join(dir, "rank_00003.rec")
-	data, err := os.ReadFile(streamPath)
-	if err != nil {
+	var enc bytes.Buffer
+	if err := colfmt.EncodeStream(&enc, 3, res.Trace.PerRank[3], colfmt.EncodeOptions{BlockRecords: 8}); err != nil {
 		t.Fatal(err)
 	}
-	if err := os.WriteFile(streamPath, data[:len(data)/2], 0o644); err != nil {
+	if err := os.WriteFile(streamPath, enc.Bytes()[:enc.Len()/2], 0o644); err != nil {
 		t.Fatal(err)
 	}
-	got, sal, err := LoadTraceLenient(dir)
+	got, sal, err := LoadTraceLenient(dir, 0)
 	if err != nil {
 		t.Fatal(err)
 	}
